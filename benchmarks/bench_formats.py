@@ -1,0 +1,98 @@
+"""Format throughput benchmarks (Section 5's "the graph format affects the
+performance ... but is frequently overlooked").
+
+Measures write and read throughput of the three formats on the same graph
+and checks the paper's qualitative claims: binary formats are faster and
+smaller than TSV at scale (here sizes invert only because small-scale ids
+are short — the size ordering at realistic id widths is asserted in
+``tests/formats``).
+"""
+
+import pytest
+
+from repro.core.generator import RecursiveVectorGenerator
+from repro.formats import get_format, write_many
+
+SCALE = 13
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return RecursiveVectorGenerator(SCALE, 16, seed=9)
+
+
+@pytest.mark.parametrize("fmt_name", ["tsv", "adj6", "csr6"])
+def test_write_throughput(benchmark, generator, fmt_name, tmp_path):
+    fmt = get_format(fmt_name)
+
+    def write():
+        return fmt.write(tmp_path / f"w.{fmt_name}",
+                         generator.iter_adjacency(),
+                         generator.num_vertices)
+
+    result = benchmark.pedantic(write, rounds=3, iterations=1)
+    assert result.num_edges > 100000
+
+
+@pytest.mark.parametrize("fmt_name", ["tsv", "adj6", "csr6"])
+def test_read_throughput(benchmark, generator, fmt_name, tmp_path):
+    fmt = get_format(fmt_name)
+    path = tmp_path / f"r.{fmt_name}"
+    fmt.write(path, generator.iter_adjacency(), generator.num_vertices)
+    edges = benchmark.pedantic(lambda: fmt.read_edges(path), rounds=3,
+                               iterations=1)
+    assert edges.shape[0] > 100000
+
+
+def test_format_write_times_comparable(benchmark, generator, tmp_path,
+                                       table):
+    """Informational: in pure Python the TSV-vs-ADJ6 *CPU* ordering from
+    the paper's JVM implementation does not transfer (f-string
+    formatting is cheap; per-record numpy encoding has overhead), so the
+    assertion is only that no format is pathologically slow.  The size
+    ordering — the half of the claim that drives the Figure 11(b)
+    ADJ6-vs-TSV gap via disk bandwidth — is asserted in
+    ``tests/formats`` at realistic id widths.
+    """
+    import time
+
+    def run():
+        times = {}
+        for name in ("tsv", "adj6", "csr6"):
+            fmt = get_format(name)
+            t0 = time.perf_counter()
+            fmt.write(tmp_path / f"cmp.{name}",
+                      generator.iter_adjacency(),
+                      generator.num_vertices)
+            times[name] = time.perf_counter() - t0
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    table("Format write seconds (scale 13, includes generation)",
+          ["format", "seconds"],
+          [[k, round(v, 4)] for k, v in times.items()])
+    assert max(times.values()) < 5 * min(times.values())
+
+
+def test_multi_write_cheaper_than_separate(benchmark, generator,
+                                           tmp_path):
+    """One teed pass vs three separate passes: the tee must win (it
+    generates once instead of three times)."""
+    import time
+
+    def run():
+        t0 = time.perf_counter()
+        write_many(generator.iter_adjacency(), generator.num_vertices,
+                   {n: tmp_path / f"tee.{n}"
+                    for n in ("tsv", "adj6", "csr6")})
+        teed = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for n in ("tsv", "adj6", "csr6"):
+            get_format(n).write(tmp_path / f"sep.{n}",
+                                generator.iter_adjacency(),
+                                generator.num_vertices)
+        separate = time.perf_counter() - t0
+        return teed, separate
+
+    teed, separate = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert teed < separate

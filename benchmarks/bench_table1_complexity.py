@@ -1,0 +1,54 @@
+"""Table 1: time and space complexities of the scope-based models.
+
+Regenerates the complexity summary from the model classes' metadata and
+spot-validates the space column empirically: the in-memory WES models'
+working set grows linearly in |E| while AVS's grows like d_max.
+"""
+
+import numpy as np
+
+from repro.models import (FastKroneckerGenerator, KroneckerAesGenerator,
+                          RmatMemGenerator, TrillionGSeqGenerator,
+                          WespMemGenerator)
+
+MODELS = [RmatMemGenerator, KroneckerAesGenerator, FastKroneckerGenerator,
+          WespMemGenerator, TrillionGSeqGenerator]
+
+
+def build_table1():
+    return [[cls.name, cls.complexity.scope, cls.complexity.time,
+             cls.complexity.space] for cls in MODELS]
+
+
+def test_table1_rows(benchmark, table):
+    rows = benchmark(build_table1)
+    table("Table 1: complexities of the scope-based models",
+          ["model", "scope", "time", "space"], rows)
+    scopes = {r[1] for r in rows}
+    assert {"WES", "AES", "AVS", "WES/p"} <= scopes
+
+
+def test_table1_space_scaling_empirical(benchmark, table):
+    """WES peak memory doubles with |E|; AVS peak grows ~1.5x per scale
+    (the d_max = |E| * 0.76^scale law)."""
+
+    def measure():
+        rows = []
+        for scale in (10, 11, 12):
+            wes = RmatMemGenerator(scale, 16, seed=1)
+            wes.generate()
+            avs = TrillionGSeqGenerator(scale, 16, seed=1)
+            avs_edges = avs.generate()
+            dmax = int(np.bincount(avs_edges[:, 0]).max())
+            rows.append([scale, wes.report.peak_memory_bytes, dmax])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table("Table 1 check: WES peak bytes vs AVS d_max",
+          ["scale", "WES peak bytes", "AVS d_max"], rows)
+    # WES doubles with |E|.
+    assert 1.8 < rows[1][1] / rows[0][1] < 2.2
+    assert 1.8 < rows[2][1] / rows[1][1] < 2.2
+    # AVS d_max grows ~2 * 0.76 = 1.52x per scale.
+    for a, b in zip(rows, rows[1:]):
+        assert 1.1 < b[2] / a[2] < 2.0

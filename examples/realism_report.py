@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Realism report: the properties that make a synthetic graph "realistic".
+
+The paper's motivation is that trillion-scale synthetic graphs in use are
+"unrealistic ... and do not follow the power-law degree distribution".
+This example generates three graphs — TrillionG (Graph500 seed), TrillionG
+with NSKG noise, and an Erdős–Rényi control — and prints the realism
+metrics side by side: degree slope, max degree, oscillation, reciprocity,
+clustering, effective diameter.
+
+Run:  python examples/realism_report.py
+"""
+
+import numpy as np
+
+from repro import RecursiveVectorGenerator
+from repro.analysis import (clustering_coefficient_sampled,
+                            effective_diameter, fit_kronecker_class_slope,
+                            oscillation_score, out_degrees, reciprocity)
+from repro.models import ErdosRenyiGenerator
+
+SCALE = 13
+N = 1 << SCALE
+
+
+def metrics(name: str, edges: np.ndarray) -> dict:
+    degs = out_degrees(edges, N)
+    try:
+        slope = f"{fit_kronecker_class_slope(degs):.3f}"
+    except ValueError:
+        slope = "n/a"
+    return {
+        "graph": name,
+        "|E|": f"{edges.shape[0]:,}",
+        "d_max": int(degs.max()),
+        "zipf slope": slope,
+        "oscillation": f"{oscillation_score(degs):.3f}",
+        "reciprocity": f"{reciprocity(edges, N):.3f}",
+        "clustering": f"{clustering_coefficient_sampled(edges, N, 4000):.3f}",
+        "eff. diameter": f"{effective_diameter(edges, N, samples=12):.2f}",
+    }
+
+
+def main() -> None:
+    rows = []
+    print(f"Generating three scale-{SCALE} graphs...")
+    tg = RecursiveVectorGenerator(SCALE, 16, seed=1).edges()
+    rows.append(metrics("TrillionG", tg))
+    noisy = RecursiveVectorGenerator(SCALE, 16, seed=1, noise=0.1).edges()
+    rows.append(metrics("TrillionG+NSKG", noisy))
+    er = ErdosRenyiGenerator(SCALE, 16, seed=1).generate()
+    rows.append(metrics("Erdos-Renyi", er))
+
+    headers = list(rows[0])
+    widths = [max(len(h), max(len(str(r[h])) for r in rows))
+              for h in headers]
+    print()
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(str(r[h]).ljust(w)
+                        for h, w in zip(headers, widths)))
+
+    print("\nReading the table:")
+    print("- TrillionG's heavy-tailed degrees (large d_max, negative "
+          "slope) versus ER's thin tail;")
+    print("- NSKG noise keeps the tail but lowers the oscillation "
+          "(Figure 9's point);")
+    print("- the scale-free graphs keep a small effective diameter.")
+
+
+if __name__ == "__main__":
+    main()

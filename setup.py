@@ -1,0 +1,9 @@
+"""Setuptools shim (metadata lives in pyproject.toml).
+
+Kept so the package installs in offline environments whose setuptools
+predates PEP 660 editable wheels (legacy `pip install -e .` path).
+"""
+
+from setuptools import setup
+
+setup()

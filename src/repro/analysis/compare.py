@@ -1,0 +1,121 @@
+"""Distribution comparison without a scipy dependency.
+
+The correctness experiments (Figure 8: "the three stochastic generators
+show the same plots") need a quantitative version of "same plot".  This
+module implements the two-sample Kolmogorov-Smirnov test (with the
+asymptotic Kolmogorov distribution for p-values) and a pooled two-sample
+chi-square statistic on histograms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KsResult", "ks_two_sample", "chi2_two_sample_statistic",
+           "histograms_similar", "loglog_plot_distance"]
+
+
+@dataclass(frozen=True)
+class KsResult:
+    statistic: float
+    pvalue: float
+
+
+def _kolmogorov_sf(x: float, terms: int = 100) -> float:
+    """Survival function of the Kolmogorov distribution,
+    ``Q(x) = 2 * sum_{j>=1} (-1)^(j-1) exp(-2 j^2 x^2)``."""
+    if x <= 0:
+        return 1.0
+    total = 0.0
+    for j in range(1, terms + 1):
+        term = 2.0 * (-1) ** (j - 1) * math.exp(-2.0 * j * j * x * x)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return min(max(total, 0.0), 1.0)
+
+
+def ks_two_sample(a: np.ndarray, b: np.ndarray) -> KsResult:
+    """Two-sample KS test with the asymptotic p-value."""
+    a = np.sort(np.asarray(a, dtype=np.float64))
+    b = np.sort(np.asarray(b, dtype=np.float64))
+    if a.size == 0 or b.size == 0:
+        raise ValueError("empty sample")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    d = float(np.abs(cdf_a - cdf_b).max())
+    n_eff = a.size * b.size / (a.size + b.size)
+    pvalue = _kolmogorov_sf((math.sqrt(n_eff) + 0.12
+                             + 0.11 / math.sqrt(n_eff)) * d)
+    return KsResult(d, pvalue)
+
+
+def chi2_two_sample_statistic(counts_a: np.ndarray, counts_b: np.ndarray,
+                              min_expected: float = 5.0
+                              ) -> tuple[float, int]:
+    """Pooled two-sample chi-square statistic over matched histograms.
+
+    Cells whose pooled expectation falls below ``min_expected`` are
+    dropped (standard practice).  Returns ``(statistic, dof)``.
+    """
+    a = np.asarray(counts_a, dtype=np.float64)
+    b = np.asarray(counts_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("histograms must have the same shape")
+    na, nb = a.sum(), b.sum()
+    if na == 0 or nb == 0:
+        raise ValueError("empty histogram")
+    pooled = (a + b) / (na + nb)
+    expected_a = na * pooled
+    expected_b = nb * pooled
+    keep = (expected_a >= min_expected) & (expected_b >= min_expected)
+    if not keep.any():
+        return 0.0, 0
+    stat = float((((a[keep] - expected_a[keep]) ** 2 / expected_a[keep])
+                  + ((b[keep] - expected_b[keep]) ** 2
+                     / expected_b[keep])).sum())
+    return stat, int(keep.sum()) - 1
+
+
+def loglog_plot_distance(degrees_a: np.ndarray, degrees_b: np.ndarray,
+                         min_count: int = 20) -> tuple[float, int]:
+    """RMS vertical distance between two log-log degree plots.
+
+    This quantifies the paper's Figure 8 criterion — "the three
+    generators show the same plots" — the way a reader compares the
+    panels: at each degree populated in both graphs (count >=
+    ``min_count``), take ``|log2(count_a) - log2(count_b)|`` and return
+    the RMS together with the number of comparable degrees.  Distances
+    well below 1 mean the plots overlay; a collapsed support (few
+    comparable degrees) is itself the TeG failure signature.
+    """
+    from .degree import degree_histogram
+
+    ha = degree_histogram(np.asarray(degrees_a))
+    hb = degree_histogram(np.asarray(degrees_b))
+    map_a = {int(d): int(c) for d, c in zip(ha.degrees, ha.counts)
+             if c >= min_count}
+    map_b = {int(d): int(c) for d, c in zip(hb.degrees, hb.counts)
+             if c >= min_count}
+    common = sorted(set(map_a) & set(map_b))
+    if not common:
+        return math.inf, 0
+    diffs = [abs(math.log2(map_a[d]) - math.log2(map_b[d]))
+             for d in common]
+    rms = math.sqrt(sum(x * x for x in diffs) / len(diffs))
+    return rms, len(common)
+
+
+def histograms_similar(counts_a: np.ndarray, counts_b: np.ndarray,
+                       threshold: float = 3.0) -> bool:
+    """True when the pooled chi-square per degree of freedom is below
+    ``threshold`` (a practical similar-plot criterion; chi2/dof ~ 1 for
+    identical distributions)."""
+    stat, dof = chi2_two_sample_statistic(counts_a, counts_b)
+    if dof <= 0:
+        return True
+    return stat / dof < threshold

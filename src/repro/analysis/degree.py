@@ -1,0 +1,95 @@
+"""Degree-distribution utilities for the property experiments (Figs 8-10).
+
+The paper's property plots are log-log degree histograms: X = degree,
+Y = number of vertices with that degree.  This module computes those
+series, their CCDFs, and logarithmically binned versions (the standard way
+to read power laws without tail noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["out_degrees", "in_degrees", "DegreeHistogram",
+           "degree_histogram", "log_binned_histogram", "ccdf"]
+
+
+def out_degrees(edges: np.ndarray, num_vertices: int) -> np.ndarray:
+    """Out-degree of every vertex (including zero-degree vertices)."""
+    return np.bincount(edges[:, 0], minlength=num_vertices)
+
+
+def in_degrees(edges: np.ndarray, num_vertices: int) -> np.ndarray:
+    """In-degree of every vertex (including zero-degree vertices)."""
+    return np.bincount(edges[:, 1], minlength=num_vertices)
+
+
+@dataclass(frozen=True)
+class DegreeHistogram:
+    """A degree-frequency series: ``counts[i]`` vertices have degree
+    ``degrees[i]`` (only degrees with nonzero counts appear)."""
+
+    degrees: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def num_edges(self) -> int:
+        return int((self.degrees * self.counts).sum())
+
+    def loglog(self) -> tuple[np.ndarray, np.ndarray]:
+        """(log2 degree, log2 count) for degrees >= 1."""
+        keep = self.degrees >= 1
+        return (np.log2(self.degrees[keep].astype(np.float64)),
+                np.log2(self.counts[keep].astype(np.float64)))
+
+
+def degree_histogram(degree_sequence: np.ndarray,
+                     drop_zero: bool = True) -> DegreeHistogram:
+    """Histogram a degree sequence into the Figure 8 series."""
+    seq = np.asarray(degree_sequence, dtype=np.int64)
+    if seq.size == 0:
+        return DegreeHistogram(np.empty(0, np.int64), np.empty(0, np.int64))
+    counts = np.bincount(seq)
+    degrees = np.nonzero(counts)[0]
+    if drop_zero and degrees.size and degrees[0] == 0:
+        degrees = degrees[1:]
+    return DegreeHistogram(degrees, counts[degrees])
+
+
+def log_binned_histogram(degree_sequence: np.ndarray,
+                         bins_per_decade: int = 10
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Logarithmically binned degree density.
+
+    Returns (bin centers, vertices-per-unit-degree), the standard
+    tail-noise-free way to view a power law.
+    """
+    seq = np.asarray(degree_sequence, dtype=np.float64)
+    seq = seq[seq >= 1]
+    if seq.size == 0:
+        return np.empty(0), np.empty(0)
+    max_degree = seq.max()
+    num_bins = max(int(np.ceil(np.log10(max_degree + 1)
+                               * bins_per_decade)), 1)
+    edges = np.logspace(0, np.log10(max_degree + 1), num_bins + 1)
+    counts, _ = np.histogram(seq, bins=edges)
+    widths = np.diff(edges)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    keep = counts > 0
+    return centers[keep], counts[keep] / widths[keep]
+
+
+def ccdf(degree_sequence: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Complementary CDF: fraction of vertices with degree >= d."""
+    hist = degree_histogram(degree_sequence, drop_zero=False)
+    if hist.degrees.size == 0:
+        return np.empty(0), np.empty(0)
+    total = hist.counts.sum()
+    tail = np.cumsum(hist.counts[::-1])[::-1]
+    return hist.degrees, tail / total

@@ -1,0 +1,60 @@
+"""Whole-graph statistics used by examples, tests, and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .degree import in_degrees, out_degrees
+
+__all__ = ["GraphStats", "graph_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a directed graph given as an edge array."""
+
+    num_vertices: int
+    num_edges: int
+    is_simple: bool              # no repeated (u, v) pairs
+    max_out_degree: int
+    max_in_degree: int
+    mean_degree: float
+    zero_out_degree_vertices: int
+    self_loops: int
+    density: float
+
+    def __str__(self) -> str:
+        return (f"|V|={self.num_vertices} |E|={self.num_edges} "
+                f"simple={self.is_simple} dmax_out={self.max_out_degree} "
+                f"dmax_in={self.max_in_degree} "
+                f"mean_deg={self.mean_degree:.2f}")
+
+
+def graph_stats(edges: np.ndarray, num_vertices: int) -> GraphStats:
+    """Compute :class:`GraphStats` for an ``(m, 2)`` edge array."""
+    edges = np.asarray(edges, dtype=np.int64)
+    m = edges.shape[0]
+    if m:
+        packed = edges[:, 0] * np.int64(num_vertices) + edges[:, 1]
+        is_simple = np.unique(packed).size == m
+        self_loops = int((edges[:, 0] == edges[:, 1]).sum())
+    else:
+        is_simple = True
+        self_loops = 0
+    outs = out_degrees(edges, num_vertices) if m else np.zeros(
+        num_vertices, dtype=np.int64)
+    ins = in_degrees(edges, num_vertices) if m else np.zeros(
+        num_vertices, dtype=np.int64)
+    return GraphStats(
+        num_vertices=num_vertices,
+        num_edges=m,
+        is_simple=is_simple,
+        max_out_degree=int(outs.max()) if num_vertices else 0,
+        max_in_degree=int(ins.max()) if num_vertices else 0,
+        mean_degree=m / num_vertices if num_vertices else 0.0,
+        zero_out_degree_vertices=int((outs == 0).sum()),
+        self_loops=self_loops,
+        density=m / (num_vertices ** 2) if num_vertices else 0.0,
+    )

@@ -1,0 +1,97 @@
+"""Edge-array transforms downstream consumers need.
+
+The paper's consumers (Graph500 kernels, GraphX queries) post-process the
+generated edge list: Graph500 treats the graph as undirected, most
+analytics drop self-loops, and the scramble step relabels vertices.  These
+are provided here as pure functions over ``(m, 2)`` edge arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["symmetrize", "remove_self_loops", "relabel", "permute_vertices",
+           "induced_subgraph", "sample_edges", "to_networkx"]
+
+
+def _dedup(edges: np.ndarray, num_vertices: int) -> np.ndarray:
+    if edges.shape[0] == 0:
+        return edges
+    keys = np.unique(edges[:, 0] * np.int64(num_vertices) + edges[:, 1])
+    n = np.int64(num_vertices)
+    return np.column_stack([keys // n, keys % n])
+
+
+def symmetrize(edges: np.ndarray, num_vertices: int) -> np.ndarray:
+    """Undirected view: add the reverse of every edge and deduplicate
+    (what Graph500 does before running BFS)."""
+    if edges.shape[0] == 0:
+        return edges.copy()
+    both = np.concatenate([edges, edges[:, ::-1]])
+    return _dedup(both, num_vertices)
+
+
+def remove_self_loops(edges: np.ndarray) -> np.ndarray:
+    """Drop ``(v, v)`` edges."""
+    if edges.shape[0] == 0:
+        return edges.copy()
+    return edges[edges[:, 0] != edges[:, 1]]
+
+
+def relabel(edges: np.ndarray, mapping: np.ndarray) -> np.ndarray:
+    """Apply a vertex-ID mapping to both endpoints.
+
+    ``mapping[old_id] = new_id``; the mapping need not be a bijection
+    (e.g. coarsening), but duplicates introduced by a non-injective map
+    are kept — call :func:`symmetrize`/dedup separately if needed.
+    """
+    mapping = np.asarray(mapping, dtype=np.int64)
+    out = np.empty_like(edges)
+    out[:, 0] = mapping[edges[:, 0]]
+    out[:, 1] = mapping[edges[:, 1]]
+    return out
+
+
+def permute_vertices(edges: np.ndarray, num_vertices: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Relabel with a uniformly random permutation (a stochastic
+    alternative to the Graph500 hash scramble)."""
+    return relabel(edges, rng.permutation(num_vertices))
+
+
+def induced_subgraph(edges: np.ndarray,
+                     vertices: np.ndarray) -> np.ndarray:
+    """Edges with both endpoints in ``vertices`` (original IDs kept)."""
+    if edges.shape[0] == 0:
+        return edges.copy()
+    keep_set = np.zeros(int(edges.max()) + 1, dtype=bool)
+    keep_set[np.asarray(vertices, dtype=np.int64)] = True
+    mask = keep_set[edges[:, 0]] & keep_set[edges[:, 1]]
+    return edges[mask]
+
+
+def sample_edges(edges: np.ndarray, fraction: float,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Uniform edge sample (for quick property estimates on huge files)."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    m = edges.shape[0]
+    count = max(int(round(m * fraction)), 1) if m else 0
+    if count >= m:
+        return edges.copy()
+    idx = rng.choice(m, size=count, replace=False)
+    return edges[np.sort(idx)]
+
+
+def to_networkx(edges: np.ndarray, num_vertices: int | None = None,
+                directed: bool = True):
+    """Build a networkx graph (small scales only — networkx is O(n) per
+    node in Python objects).  Imported lazily so the core library keeps
+    its numpy-only dependency."""
+    import networkx as nx
+
+    graph = nx.DiGraph() if directed else nx.Graph()
+    if num_vertices is not None:
+        graph.add_nodes_from(range(num_vertices))
+    graph.add_edges_from(map(tuple, edges.tolist()))
+    return graph

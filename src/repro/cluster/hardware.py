@@ -1,0 +1,91 @@
+"""Hardware specifications for the cluster cost model.
+
+The paper's testbed: 1 master + 10 slave PCs, each with a six-core 3.5 GHz
+CPU, 32 GB RAM and a 4 TB HDD, connected by 1 GbE (default) or 100 Gb/s
+InfiniBand EDR (the Graph500 comparison).  These dataclasses describe that
+hardware; :mod:`repro.cluster.costmodel` prices generator runs against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["NetworkSpec", "MachineSpec", "ClusterHardware",
+           "GIGABIT_ETHERNET", "INFINIBAND_EDR", "PAPER_PC",
+           "PAPER_CLUSTER", "PAPER_CLUSTER_IB", "SINGLE_PC"]
+
+GiB = 1024 ** 3
+TB = 10 ** 12
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """An interconnect, by effective point-to-point bandwidth."""
+
+    name: str
+    bandwidth_bytes_per_sec: float
+
+
+#: 1 Gb/s Ethernet at ~125 MB/s line rate.
+GIGABIT_ETHERNET = NetworkSpec("1GbE", 125e6)
+
+#: 100 Gb/s InfiniBand EDR at ~12.5 GB/s line rate.
+INFINIBAND_EDR = NetworkSpec("InfiniBand-EDR", 12.5e9)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One worker PC."""
+
+    cores: int = 6
+    cpu_ghz: float = 3.5
+    memory_bytes: int = 32 * GiB
+    disk_bytes: int = 4 * TB
+    disk_write_bytes_per_sec: float = 110e6   # commodity HDD sequential
+    disk_read_bytes_per_sec: float = 110e6
+
+
+#: The paper's slave PC.
+PAPER_PC = MachineSpec()
+
+
+@dataclass(frozen=True)
+class ClusterHardware:
+    """A homogeneous cluster."""
+
+    machines: int
+    machine: MachineSpec
+    network: NetworkSpec
+    threads_per_machine: int = 6
+
+    @property
+    def total_threads(self) -> int:
+        return self.machines * self.threads_per_machine
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return self.machines * self.machine.memory_bytes
+
+    @property
+    def total_disk_bytes(self) -> int:
+        return self.machines * self.machine.disk_bytes
+
+    @property
+    def aggregate_disk_write(self) -> float:
+        return self.machines * self.machine.disk_write_bytes_per_sec
+
+    def with_network(self, network: NetworkSpec) -> "ClusterHardware":
+        return replace(self, network=network)
+
+
+#: The paper's default cluster: 10 slaves on 1 GbE, 6 threads each.
+PAPER_CLUSTER = ClusterHardware(machines=10, machine=PAPER_PC,
+                                network=GIGABIT_ETHERNET)
+
+#: The same cluster on InfiniBand (Appendix D's Graph500 setting).
+PAPER_CLUSTER_IB = PAPER_CLUSTER.with_network(INFINIBAND_EDR)
+
+#: A single PC (the Figure 11(a) single-thread experiments).
+SINGLE_PC = ClusterHardware(machines=1, machine=PAPER_PC,
+                            network=GIGABIT_ETHERNET,
+                            threads_per_machine=1)

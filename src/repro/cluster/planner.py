@@ -1,0 +1,102 @@
+"""Capacity planning on top of the cost model.
+
+Answers the practical questions the paper's evaluation implies: *what is
+the largest graph this cluster can generate with each method*, and *what
+cluster does a target scale need*.  Used by tests to assert the paper's
+capacity statements (e.g. RMAT/p-mem tops out at scale 28 on the paper's
+cluster; TrillionG is disk-bound, not memory-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from .costmodel import CostEstimate, CostModel
+from .hardware import PAPER_CLUSTER, ClusterHardware
+
+__all__ = ["CapacityReport", "max_feasible_scale", "capacity_report",
+           "machines_needed"]
+
+#: Method name -> CostModel method selector.
+_METHODS: dict[str, Callable[[CostModel, int], CostEstimate]] = {
+    "RMAT/p-mem": lambda m, s: m.wesp_mem(s),
+    "RMAT/p-disk": lambda m, s: m.wesp_disk(s),
+    "TrillionG (TSV)": lambda m, s: m.trilliong(s, "tsv"),
+    "TrillionG (ADJ6)": lambda m, s: m.trilliong(s, "adj6"),
+    "Graph500": lambda m, s: m.graph500(s),
+}
+
+
+def max_feasible_scale(model: CostModel, method: str,
+                       time_budget_seconds: float | None = None,
+                       scale_range: range = range(20, 45)) -> int | None:
+    """Largest scale the method completes on the model's cluster.
+
+    A scale is feasible when it does not OOM / exceed disk capacity and,
+    if ``time_budget_seconds`` is given, finishes within it.  Returns
+    None when even the smallest scale in range is infeasible.
+    """
+    try:
+        estimate_fn = _METHODS[method]
+    except KeyError:
+        raise KeyError(f"unknown method {method!r}; available: "
+                       f"{sorted(_METHODS)}") from None
+    best = None
+    for scale in scale_range:
+        est = estimate_fn(model, scale)
+        if est.oom:
+            break
+        if (time_budget_seconds is not None
+                and est.elapsed_seconds > time_budget_seconds):
+            break
+        best = scale
+    return best
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Per-method capacity summary for one cluster."""
+
+    cluster: ClusterHardware
+    max_scales: dict[str, int | None]
+
+    def winner(self) -> str:
+        """Method reaching the largest scale (ties: alphabetical)."""
+        feasible = {k: v for k, v in self.max_scales.items()
+                    if v is not None}
+        if not feasible:
+            raise ValueError("no method is feasible on this cluster")
+        top = max(feasible.values())
+        return sorted(k for k, v in feasible.items() if v == top)[0]
+
+
+def capacity_report(cluster: ClusterHardware = PAPER_CLUSTER,
+                    time_budget_seconds: float | None = None
+                    ) -> CapacityReport:
+    """Max feasible scale of every method on ``cluster``."""
+    model = CostModel(cluster)
+    return CapacityReport(cluster, {
+        name: max_feasible_scale(model, name, time_budget_seconds)
+        for name in _METHODS
+    })
+
+
+def machines_needed(scale: int, method: str = "TrillionG (ADJ6)",
+                    base: ClusterHardware = PAPER_CLUSTER,
+                    time_budget_seconds: float | None = None,
+                    max_machines: int = 4096) -> int | None:
+    """Smallest machine count (paper-spec PCs) at which ``scale`` becomes
+    feasible for ``method``; None if ``max_machines`` is not enough."""
+    estimate_fn = _METHODS[method]
+    machines = max(base.machines, 1)
+    while machines <= max_machines:
+        cluster = replace(base, machines=machines)
+        est = estimate_fn(CostModel(cluster), scale)
+        ok = not est.oom and (time_budget_seconds is None
+                              or est.elapsed_seconds
+                              <= time_budget_seconds)
+        if ok:
+            return machines
+        machines *= 2
+    return None

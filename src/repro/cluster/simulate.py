@@ -1,0 +1,105 @@
+"""Paper-scale experiment series from the cost model.
+
+Each function returns the rows of one published figure, at the paper's own
+scales, for EXPERIMENTS.md and the benchmark harness to print next to the
+published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costmodel import CostModel, CostEstimate
+from .hardware import (PAPER_CLUSTER, PAPER_CLUSTER_IB, SINGLE_PC,
+                       ClusterHardware)
+
+__all__ = ["SeriesRow", "figure11a_series", "figure11b_series",
+           "figure12_series", "figure14_series"]
+
+
+@dataclass(frozen=True)
+class SeriesRow:
+    """One (model, scale) cell of a figure."""
+
+    model: str
+    scale: int
+    elapsed_seconds: float        # inf == O.O.M
+    peak_memory_bytes: float
+    construction_ratio: float = 0.0
+
+    @property
+    def oom(self) -> bool:
+        return self.elapsed_seconds == float("inf")
+
+    def cell(self) -> str:
+        return "O.O.M" if self.oom else f"{self.elapsed_seconds:.0f}"
+
+
+def _row(est: CostEstimate, ratio: float = 0.0) -> SeriesRow:
+    return SeriesRow(est.model, est.scale, est.elapsed_seconds,
+                     est.peak_memory_bytes, ratio)
+
+
+def figure11a_series(scales: range = range(20, 29)) -> list[SeriesRow]:
+    """Single-thread comparison: RMAT-mem/disk, FastKronecker,
+    TrillionG/seq (Figure 11(a))."""
+    model = CostModel(SINGLE_PC)
+    rows = []
+    for scale in scales:
+        rows.append(_row(model.rmat_mem(scale)))
+        rows.append(_row(model.rmat_disk(scale)))
+        rows.append(_row(model.fast_kronecker(scale)))
+        rows.append(_row(model.trilliong_seq(scale)))
+    return rows
+
+
+def figure11b_series(scales: range = range(24, 32),
+                     cluster: ClusterHardware = PAPER_CLUSTER
+                     ) -> list[SeriesRow]:
+    """Distributed comparison: RMAT/p-mem/disk vs TrillionG TSV/ADJ6
+    (Figure 11(b))."""
+    model = CostModel(cluster)
+    rows = []
+    for scale in scales:
+        rows.append(_row(model.wesp_mem(scale)))
+        rows.append(_row(model.wesp_disk(scale)))
+        rows.append(_row(model.trilliong(scale, "tsv")))
+        rows.append(_row(model.trilliong(scale, "adj6")))
+    return rows
+
+
+def figure12_series(scales: range = range(33, 39),
+                    cluster: ClusterHardware = PAPER_CLUSTER
+                    ) -> list[SeriesRow]:
+    """TrillionG scalability: elapsed time and peak memory at scales
+    33-38 (Figure 12)."""
+    model = CostModel(cluster)
+    return [_row(model.trilliong(scale, "adj6")) for scale in scales]
+
+
+def figure14_series(scales: range = range(25, 31)) -> list[SeriesRow]:
+    """TrillionG vs Graph500 on both networks (Figure 14).
+
+    TrillionG uses no network during generation, so its 1GbE and
+    InfiniBand rows coincide (as the paper notes).
+    """
+    rows = []
+    m_1g = CostModel(PAPER_CLUSTER)
+    m_ib = CostModel(PAPER_CLUSTER_IB)
+    for scale in scales:
+        tg = m_1g.trilliong_nskg_csr(scale)
+        rows.append(SeriesRow("TrillionG-1G", scale, tg.elapsed_seconds,
+                              tg.peak_memory_bytes,
+                              CostModel.construction_ratio(tg)))
+        rows.append(SeriesRow("TrillionG-IB", scale, tg.elapsed_seconds,
+                              tg.peak_memory_bytes,
+                              CostModel.construction_ratio(tg)))
+        g1 = m_1g.graph500(scale)
+        rows.append(SeriesRow("Graph500-1G", scale, g1.elapsed_seconds,
+                              g1.peak_memory_bytes,
+                              CostModel.construction_ratio(g1)))
+        gib = m_ib.graph500(scale)
+        rows.append(SeriesRow("Graph500-IB", scale, gib.elapsed_seconds,
+                              gib.peak_memory_bytes,
+                              CostModel.construction_ratio(gib)))
+    return rows

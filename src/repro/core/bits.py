@@ -1,0 +1,104 @@
+"""Bit-level utilities used throughout the recursive vector model.
+
+The paper treats vertex IDs as binary strings of length ``log2(|V|)`` and
+expresses probabilities through popcounts (Proposition 1) and per-bit lookups
+(Lemmas 2-4).  This module provides those primitives both for scalar Python
+integers and for numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bits",
+    "bits_array",
+    "bit_at",
+    "bits_of",
+    "mask",
+    "is_power_of_two",
+    "ilog2",
+    "ones_positions",
+    "reverse_bits",
+]
+
+
+def bits(x: int) -> int:
+    """Return ``Bits(x)``: the number of 1 bits in ``x`` (x >= 0)."""
+    if x < 0:
+        raise ValueError(f"bits() requires a non-negative integer, got {x}")
+    return int(x).bit_count()
+
+
+def bits_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized popcount over an unsigned/non-negative integer array."""
+    return np.bitwise_count(x)
+
+
+def bit_at(x: int, k: int) -> int:
+    """Return the ``k``-th bit of ``x`` counting from the LSB (bit 0)."""
+    return (x >> k) & 1
+
+
+def bits_of(x: int, width: int) -> tuple[int, ...]:
+    """Return the bits of ``x`` as a tuple ``(b[width-1], ..., b[0])``,
+    most-significant first, zero-padded to ``width`` bits.
+
+    This matches the paper's convention of reading a vertex ID as a binary
+    string whose leftmost character is the quadrant chosen at the first
+    (coarsest) recursion level.
+    """
+    if x >= (1 << width):
+        raise ValueError(f"{x} does not fit in {width} bits")
+    return tuple((x >> k) & 1 for k in range(width - 1, -1, -1))
+
+
+def mask(width: int) -> int:
+    """Return a bit mask of ``width`` ones (``2**width - 1``)."""
+    return (1 << width) - 1
+
+
+def is_power_of_two(x: int) -> bool:
+    """True when ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact integer log2; raises for non-powers of two.
+
+    The scope-based model requires ``|V| = 2**scale`` so that recursive
+    quadrant selection terminates exactly at 1x1 cells.
+    """
+    if not is_power_of_two(x):
+        raise ValueError(f"{x} is not a positive power of two")
+    return x.bit_length() - 1
+
+
+def ones_positions(x: int) -> list[int]:
+    """Return the bit positions (LSB = 0) that are set in ``x``, ascending.
+
+    Theorem 2 reconstructs a destination vertex as ``sum(2**k for k in θ)``;
+    this is the inverse mapping used by tests.
+    """
+    positions = []
+    k = 0
+    while x:
+        if x & 1:
+            positions.append(k)
+        x >>= 1
+        k += 1
+    return positions
+
+
+def reverse_bits(x: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``x`` (bit 0 becomes bit width-1).
+
+    Used by the Graph500-style vertex scramble.
+    """
+    if x >= (1 << width):
+        raise ValueError(f"{x} does not fit in {width} bits")
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (x & 1)
+        x >>= 1
+    return out

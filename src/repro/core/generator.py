@@ -1,0 +1,655 @@
+"""The AVS (A Vertex Scope) generator — the recursive vector model engine.
+
+This is the core of TrillionG (Sections 4-5): for each source vertex ``u``
+it draws the scope size ``d+(u)`` (Theorem 1), builds ``RecVec`` (Lemma 2 /
+Lemma 8), and samples that many *distinct* destinations (Theorem 2,
+Algorithm 5), requiring only ``O(dmax)`` working memory.
+
+Engines
+-------
+``reference``
+    Paper-faithful per-edge Python loop (Algorithms 4-5), instrumented with
+    recursion/draw counters and the three Idea toggles — the engine behind
+    the Figure 13 ablation.
+``vectorized``
+    The same Algorithm 5 translation loop, executed batched in numpy over a
+    block of sources (row-wise searchsorted).  Identical stochastic process.
+``bitwise``
+    Exploits the bit-factorization of ``P(v|u)`` (see
+    :mod:`repro.core.probability`): destination bits are independent
+    Bernoulli draws.  Distributionally identical and fastest in numpy.
+
+Determinism
+-----------
+Randomness is keyed by ``(seed, tag, block_index)`` where blocks are fixed
+``block_size``-aligned ranges of source vertices, so the generated graph is
+a pure function of the configuration — independent of how many workers
+generate it or how the vertex range is partitioned.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError, GenerationError
+from .process import EdgeProcess, make_process
+from .rng import stream
+from .scope import sample_scope_sizes
+from .seed import GRAPH500, SeedMatrix
+
+__all__ = [
+    "IdeaToggles",
+    "GenerationStats",
+    "RecursiveVectorGenerator",
+    "AdjacencyBlock",
+]
+
+# Stream tags: keep distinct so no two purposes share a stream.
+_TAG_NOISE = 101
+_TAG_DEGREE = 102
+_TAG_EDGE = 103
+
+_ENGINES = ("vectorized", "bitwise", "reference")
+_MAX_TOPUP_ROUNDS = 200
+
+
+@dataclass(frozen=True)
+class IdeaToggles:
+    """The three performance ideas of Section 4.3, individually togglable
+    for the Figure 13 ablation.  All three default to on (full TrillionG).
+
+    - ``reuse_recvec`` (Idea #1): build RecVec once per scope instead of
+      once per edge.
+    - ``reduce_recursions`` (Idea #2): recurse once per 1-bit of the
+      destination (Theorem 2) instead of once per level (RMAT-style).
+    - ``single_random`` (Idea #3): draw one uniform per edge and translate
+      it, instead of one uniform per recursion step.
+    """
+
+    reuse_recvec: bool = True
+    reduce_recursions: bool = True
+    single_random: bool = True
+
+    @classmethod
+    def all_off(cls) -> "IdeaToggles":
+        return cls(False, False, False)
+
+
+@dataclass
+class GenerationStats:
+    """Counters accumulated while generating (reference engine counts
+    recursions and draws; all engines count edges and duplicates)."""
+
+    edges: int = 0
+    duplicates_discarded: int = 0
+    recursion_steps: int = 0
+    random_draws: int = 0
+    recvec_builds: int = 0
+    max_scope_size: int = 0
+
+    def merge(self, other: "GenerationStats") -> None:
+        self.edges += other.edges
+        self.duplicates_discarded += other.duplicates_discarded
+        self.recursion_steps += other.recursion_steps
+        self.random_draws += other.random_draws
+        self.recvec_builds += other.recvec_builds
+        self.max_scope_size = max(self.max_scope_size, other.max_scope_size)
+
+
+@dataclass
+class AdjacencyBlock:
+    """One generated block: CSR-like triplet over ``block_size`` sources.
+
+    ``destinations[offsets[j]:offsets[j+1]]`` are the (sorted, distinct)
+    out-neighbours of ``sources[j]``.
+    """
+
+    sources: np.ndarray       # (n,) vertex ids
+    offsets: np.ndarray       # (n+1,) int64 prefix sums of degrees
+    destinations: np.ndarray  # (total,) int64
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.offsets[-1])
+
+    def iter_adjacency(self) -> Iterator[tuple[int, np.ndarray]]:
+        for j, u in enumerate(self.sources):
+            yield int(u), self.destinations[self.offsets[j]:
+                                            self.offsets[j + 1]]
+
+    def edge_array(self) -> np.ndarray:
+        """Materialize as an ``(m, 2)`` edge array."""
+        src = np.repeat(self.sources.astype(np.int64), self.degrees)
+        return np.column_stack([src, self.destinations])
+
+
+class RecursiveVectorGenerator:
+    """TrillionG's per-scope generator over a range of source vertices.
+
+    Parameters
+    ----------
+    scale:
+        ``log2(|V|)``.
+    edge_factor:
+        ``|E| / |V|`` (Graph500 default 16); overridden by ``num_edges``.
+    seed_matrix:
+        2x2 seed; defaults to the Graph500 standard matrix.
+    num_edges:
+        Explicit ``|E|`` target (expected value; the realized count is
+        stochastic per Theorem 1).
+    noise:
+        NSKG noise parameter ``N`` (0 disables noise).
+    direction:
+        ``"out"`` for AVS-O (scopes are rows; yields out-adjacency) or
+        ``"in"`` for AVS-I (scopes are columns; yields in-adjacency).
+    engine:
+        ``"vectorized"`` (default), ``"bitwise"``, or ``"reference"``.
+    ideas:
+        Idea toggles (reference engine only; the batched engines embody all
+        three ideas by construction).
+    dedup:
+        Eliminate repeat edges within each scope and top up to the drawn
+        scope size (Algorithm 2's set semantics).  Default True.
+    degree_method:
+        Theorem 1 approximation, see
+        :func:`repro.core.scope.sample_scope_sizes`.
+    seed:
+        Master random seed.
+    block_size:
+        Number of consecutive sources generated per batch; randomness is
+        keyed per block, so this also fixes the determinism granularity.
+    """
+
+    def __init__(self, scale: int, edge_factor: int = 16,
+                 seed_matrix: SeedMatrix | None = None, *,
+                 num_edges: int | None = None,
+                 noise: float = 0.0,
+                 direction: str = "out",
+                 engine: str = "vectorized",
+                 ideas: IdeaToggles | None = None,
+                 dedup: bool = True,
+                 degree_method: str = "normal",
+                 seed: int = 0,
+                 block_size: int = 4096) -> None:
+        if scale < 1:
+            raise ConfigurationError("scale must be >= 1")
+        if scale > 56:
+            raise ConfigurationError(
+                "scale > 56 would overflow int64 destination packing")
+        if direction not in ("out", "in"):
+            raise ConfigurationError("direction must be 'out' or 'in'")
+        if engine not in _ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {_ENGINES}")
+        if block_size < 1:
+            raise ConfigurationError("block_size must be positive")
+        self.scale = scale
+        self.num_vertices = 1 << scale
+        self.num_edges = (num_edges if num_edges is not None
+                          else edge_factor * self.num_vertices)
+        if self.num_edges < 1:
+            raise ConfigurationError("num_edges must be positive")
+        base = seed_matrix if seed_matrix is not None else GRAPH500
+        self.seed_matrix = base
+        self.direction = direction
+        matrix = base if direction == "out" else base.transpose()
+        self.engine = engine
+        self.ideas = ideas if ideas is not None else IdeaToggles()
+        self.dedup = dedup
+        self.degree_method = degree_method
+        self.seed = seed
+        self.noise = noise
+        self.block_size = block_size
+        self.process: EdgeProcess = make_process(
+            matrix, scale, noise, stream(seed, _TAG_NOISE))
+        self.stats = GenerationStats()
+
+    # ------------------------------------------------------------------
+    # Degree (scope size) sampling — Theorem 1
+    # ------------------------------------------------------------------
+
+    def block_degrees(self, block_index: int) -> np.ndarray:
+        """Scope sizes for every source in block ``block_index``."""
+        sources = self._block_sources(block_index)
+        probs = self.process.row_probabilities(sources)
+        rng = stream(self.seed, _TAG_DEGREE, block_index)
+        # A scope of distinct edges cannot exceed its |V| cells; without
+        # dedup, repeats are allowed and no cap applies.
+        max_size = self.num_vertices if self.dedup else None
+        return sample_scope_sizes(probs, self.num_edges, rng,
+                                  method=self.degree_method,
+                                  max_size=max_size)
+
+    def degrees(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Scope sizes for sources in ``[start, stop)`` (out-degrees for
+        AVS-O, in-degrees for AVS-I)."""
+        start, stop = self._check_range(start, stop)
+        chunks = []
+        for block in range(start // self.block_size,
+                           (stop - 1) // self.block_size + 1):
+            sizes = self.block_degrees(block)
+            lo = max(start - block * self.block_size, 0)
+            hi = min(stop - block * self.block_size, self.block_size)
+            chunks.append(sizes[lo:hi])
+        return np.concatenate(chunks) if chunks else np.empty(0, np.int64)
+
+    # ------------------------------------------------------------------
+    # Block generation
+    # ------------------------------------------------------------------
+
+    def generate_block(self, block_index: int) -> AdjacencyBlock:
+        """Generate all scopes of one block (Algorithm 4, batched)."""
+        sources = self._block_sources(block_index)
+        degrees = self.block_degrees(block_index)
+        rng = stream(self.seed, _TAG_EDGE, block_index)
+        if self.engine == "reference":
+            block = self._generate_block_reference(sources, degrees, rng)
+        else:
+            block = self._generate_block_batched(sources, degrees, rng)
+        self.stats.edges += block.num_edges
+        if degrees.size:
+            self.stats.max_scope_size = max(self.stats.max_scope_size,
+                                            int(degrees.max()))
+        return block
+
+    def iter_blocks(self, start: int = 0,
+                    stop: int | None = None) -> Iterator[AdjacencyBlock]:
+        """Yield :class:`AdjacencyBlock` objects covering ``[start, stop)``.
+
+        Partial first/last blocks are generated whole (determinism is per
+        block) and then sliced to the requested range.
+        """
+        start, stop = self._check_range(start, stop)
+        for block_index in range(start // self.block_size,
+                                 (stop - 1) // self.block_size + 1):
+            block = self.generate_block(block_index)
+            base = block_index * self.block_size
+            lo = max(start - base, 0)
+            hi = min(stop - base, len(block.sources))
+            if lo == 0 and hi == len(block.sources):
+                yield block
+            else:
+                offs = block.offsets
+                dests = block.destinations[offs[lo]:offs[hi]]
+                yield AdjacencyBlock(block.sources[lo:hi],
+                                     offs[lo:hi + 1] - offs[lo],
+                                     dests)
+
+    def iter_adjacency(self, start: int = 0, stop: int | None = None
+                       ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(vertex, neighbours)`` pairs over ``[start, stop)``.
+
+        For AVS-O the pair is ``(source, out-neighbours)``; for AVS-I it is
+        ``(destination, in-neighbours)``.
+        """
+        for block in self.iter_blocks(start, stop):
+            yield from block.iter_adjacency()
+
+    def edges(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Materialize edges for scopes in ``[start, stop)`` as ``(m, 2)``
+        ``(source, destination)`` rows.  AVS-I output is flipped back to
+        (source, destination) order."""
+        parts = [block.edge_array() for block in self.iter_blocks(start, stop)]
+        if parts:
+            out = np.concatenate(parts)
+        else:
+            out = np.empty((0, 2), dtype=np.int64)
+        if self.direction == "in":
+            out = out[:, ::-1]
+        return out
+
+    # ------------------------------------------------------------------
+    # Batched engines (vectorized / bitwise)
+    # ------------------------------------------------------------------
+
+    def _generate_block_batched(self, sources: np.ndarray,
+                                degrees: np.ndarray,
+                                rng: np.random.Generator) -> AdjacencyBlock:
+        saturated = self._saturated_mask(degrees)
+        if saturated.any():
+            return self._generate_block_with_saturated(sources, degrees,
+                                                       saturated, rng)
+        total = int(degrees.sum())
+        rows = np.repeat(np.arange(sources.size, dtype=np.int64), degrees)
+        if self.engine == "vectorized":
+            recvecs = self.process.build_recvecs(sources)
+            self.stats.recvec_builds += sources.size
+            sampler = _RecVecSampler(recvecs)
+        else:
+            bit_probs = self.process.bit_probabilities(sources)
+            sampler = _BitwiseSampler(bit_probs, self.scale)
+        dests = sampler.sample(rows, rng)
+        self.stats.random_draws += total if self.engine == "vectorized" \
+            else total * self.scale
+        if not self.dedup:
+            order = np.argsort(rows * np.int64(self.num_vertices) + dests,
+                               kind="stable")
+            offsets = np.zeros(sources.size + 1, dtype=np.int64)
+            np.cumsum(degrees, out=offsets[1:])
+            return AdjacencyBlock(sources, offsets, dests[order])
+        keys, dups = self._dedup_topup(rows, dests, degrees, sampler, rng,
+                                       sources)
+        self.stats.duplicates_discarded += dups
+        rows_final = keys // self.num_vertices
+        dests_final = keys % self.num_vertices
+        counts = np.bincount(rows_final, minlength=sources.size)
+        offsets = np.zeros(sources.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return AdjacencyBlock(sources, offsets, dests_final)
+
+    def _dedup_topup(self, rows: np.ndarray, dests: np.ndarray,
+                     degrees: np.ndarray, sampler: "_DestinationSampler",
+                     rng: np.random.Generator,
+                     sources: np.ndarray) -> tuple[np.ndarray, int]:
+        """Per-scope duplicate elimination with stochastic top-up.
+
+        Implements Algorithm 2's ``while count(edgeSet) <= |S|`` loop for a
+        whole block at once: duplicates are dropped (set union), shortfalls
+        are refilled by drawing again, until every scope reaches its size.
+        Scopes whose rejection top-up stalls (very skewed conditional
+        distributions turn the last few distinct draws into a coupon-
+        collector problem) are finished by the exact PPSWOR sampler.
+        Returns the sorted packed keys ``row * |V| + dest`` and the number
+        of duplicates discarded.
+        """
+        span = np.int64(self.num_vertices)
+        keys = _sorted_unique(np.sort(rows * span + dests))
+        duplicates = rows.size - keys.size
+        for _ in range(_MAX_TOPUP_ROUNDS):
+            have = np.bincount((keys // span).astype(np.int64),
+                               minlength=degrees.size)
+            shortfall = degrees - have
+            if not (shortfall > 0).any():
+                return keys, duplicates
+            refill_rows = np.repeat(
+                np.arange(degrees.size, dtype=np.int64),
+                np.maximum(shortfall, 0))
+            new_dests = sampler.sample(refill_rows, rng)
+            candidates = _sorted_unique(np.sort(refill_rows * span
+                                                + new_dests))
+            # Drop candidates already present (both arrays are sorted).
+            if keys.size:
+                pos = np.searchsorted(keys, candidates)
+                pos = np.minimum(pos, keys.size - 1)
+                fresh = candidates[keys[pos] != candidates]
+            else:
+                fresh = candidates
+            duplicates += refill_rows.size - fresh.size
+            if fresh.size == 0:
+                break
+            keys = np.sort(np.concatenate([keys, fresh]))
+        # Rejection stalled (or rounds exhausted): finish the remaining
+        # scopes exactly.
+        have = np.bincount((keys // span).astype(np.int64),
+                           minlength=degrees.size)
+        short_rows = np.nonzero(degrees - have > 0)[0]
+        for row in short_rows:
+            exact = self._sample_scope_exact(int(sources[row]),
+                                             int(degrees[row]), rng)
+            keep = keys[keys // span != row]
+            keys = np.sort(np.concatenate([keep, row * span + exact]))
+        return keys, duplicates
+
+    # ------------------------------------------------------------------
+    # Saturated scopes (small-scale hubs whose size approaches |V|)
+    # ------------------------------------------------------------------
+
+    def _saturated_mask(self, degrees: np.ndarray) -> np.ndarray:
+        """Scopes whose rejection-based top-up would coupon-collect.
+
+        When a drawn scope size exceeds ~1/4 of the scope area (possible
+        only at small scales, where the hub's expected degree ``|E| * P(u->)``
+        can reach ``|V|``), collecting the last distinct destinations by
+        redrawing takes unboundedly long because the tail cells have
+        vanishing probability.  Those scopes are sampled exactly instead.
+        """
+        if not self.dedup:
+            return np.zeros(degrees.shape, dtype=bool)
+        return degrees > (self.num_vertices >> 2)
+
+    def _sample_scope_exact(self, u: int, size: int,
+                            rng: np.random.Generator) -> np.ndarray:
+        """Exact without-replacement sample of ``size`` destinations.
+
+        Materializes the row PMF (product of per-bit Bernoulli factors) and
+        takes a PPSWOR sample via the Gumbel top-k trick — distributionally
+        identical to the paper's draw-until-distinct loop, but O(|V| log |V|)
+        instead of coupon-collector time.  Only reachable at small scales,
+        so the O(|V|) row never exceeds a few MB.
+        """
+        if self.scale > 26:
+            raise GenerationError(
+                "saturated scope at a scale too large to materialize; "
+                "this cannot occur for edge factors <= |V|^(1/4)")
+        bit_probs = self.process.bit_probabilities(
+            np.array([u], dtype=np.uint64))[0]
+        pmf = np.array([1.0])
+        for x in range(self.scale):
+            p = bit_probs[x]
+            pmf = np.concatenate([pmf * (1.0 - p), pmf * p])
+        size = min(size, int(np.count_nonzero(pmf)))
+        with np.errstate(divide="ignore"):
+            scores = np.log(pmf) - np.log(-np.log(rng.random(pmf.size)))
+        top = np.argpartition(scores, pmf.size - size)[pmf.size - size:]
+        return np.sort(top).astype(np.int64)
+
+    def _generate_block_with_saturated(self, sources: np.ndarray,
+                                       degrees: np.ndarray,
+                                       saturated: np.ndarray,
+                                       rng: np.random.Generator
+                                       ) -> AdjacencyBlock:
+        """Split a block into normal scopes (batched path) and saturated
+        scopes (exact path), then merge back in source order."""
+        light_degrees = np.where(saturated, 0, degrees)
+        light = self._generate_block_batched(sources, light_degrees, rng)
+        per_source = [light.destinations[light.offsets[j]:
+                                         light.offsets[j + 1]]
+                      for j in range(sources.size)]
+        for j in np.nonzero(saturated)[0]:
+            per_source[j] = self._sample_scope_exact(int(sources[j]),
+                                                     int(degrees[j]), rng)
+        counts = np.array([d.size for d in per_source], dtype=np.int64)
+        offsets = np.zeros(sources.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        dest = (np.concatenate(per_source) if per_source
+                else np.empty(0, np.int64))
+        return AdjacencyBlock(sources, offsets, dest)
+
+    # ------------------------------------------------------------------
+    # Reference engine (Algorithms 4-5, instrumented, idea toggles)
+    # ------------------------------------------------------------------
+
+    def _generate_block_reference(self, sources: np.ndarray,
+                                  degrees: np.ndarray,
+                                  rng: np.random.Generator) -> AdjacencyBlock:
+        all_dests: list[np.ndarray] = []
+        counts = np.empty(sources.size, dtype=np.int64)
+        for j, u in enumerate(sources):
+            dests = self._generate_scope_reference(int(u), int(degrees[j]),
+                                                   rng)
+            counts[j] = dests.size
+            all_dests.append(dests)
+        offsets = np.zeros(sources.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        destinations = (np.concatenate(all_dests) if all_dests
+                        else np.empty(0, np.int64))
+        return AdjacencyBlock(sources.copy(), offsets, destinations)
+
+    def _generate_scope_reference(self, u: int, size: int,
+                                  rng: np.random.Generator) -> np.ndarray:
+        """Algorithm 4 for one scope, honoring the Idea toggles."""
+        if self.dedup and size > (self.num_vertices >> 2):
+            return self._sample_scope_exact(u, size, rng)
+        ideas = self.ideas
+        stats = self.stats
+        recvec = None
+        bit_probs = None
+        if ideas.reuse_recvec:
+            recvec = self.process.build_recvec(u)
+            stats.recvec_builds += 1
+            if not ideas.reduce_recursions:
+                bit_probs = self.process.bit_probabilities(
+                    np.array([u], dtype=np.uint64))[0]
+        edge_set: set[int] = set()
+        attempts = 0
+        max_attempts = max(size * _MAX_TOPUP_ROUNDS, _MAX_TOPUP_ROUNDS)
+        while len(edge_set) < size:
+            if attempts >= max_attempts:
+                # Rejection stalled on a very skewed scope; finish exactly
+                # (same fallback as the batched engines).
+                return self._sample_scope_exact(u, size, rng)
+            attempts += 1
+            if not ideas.reuse_recvec:
+                recvec = self.process.build_recvec(u)
+                stats.recvec_builds += 1
+                if not ideas.reduce_recursions:
+                    bit_probs = self.process.bit_probabilities(
+                        np.array([u], dtype=np.uint64))[0]
+            if ideas.reduce_recursions:
+                v = _sample_destination_alg5(recvec, rng,
+                                             ideas.single_random, stats)
+            else:
+                v = _sample_destination_bitpeel(bit_probs, rng,
+                                                ideas.single_random, stats)
+            if v in edge_set:
+                stats.duplicates_discarded += 1
+            else:
+                edge_set.add(v)
+        return np.array(sorted(edge_set), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _block_sources(self, block_index: int) -> np.ndarray:
+        lo = block_index * self.block_size
+        hi = min(lo + self.block_size, self.num_vertices)
+        if lo >= self.num_vertices:
+            raise ValueError(f"block {block_index} is out of range")
+        return np.arange(lo, hi, dtype=np.uint64)
+
+    def _check_range(self, start: int, stop: int | None) -> tuple[int, int]:
+        if stop is None:
+            stop = self.num_vertices
+        if not (0 <= start < stop <= self.num_vertices):
+            raise ValueError(
+                f"invalid scope range [{start}, {stop}) for "
+                f"|V| = {self.num_vertices}")
+        return start, stop
+
+
+def _sorted_unique(sorted_keys: np.ndarray) -> np.ndarray:
+    """Deduplicate an already-sorted int array (avoids np.unique's hashing,
+    which dominates the profile on repeated top-up rounds)."""
+    if sorted_keys.size <= 1:
+        return sorted_keys
+    keep = np.empty(sorted_keys.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=keep[1:])
+    return sorted_keys[keep]
+
+
+# ---------------------------------------------------------------------------
+# Destination samplers
+# ---------------------------------------------------------------------------
+
+class _DestinationSampler:
+    """Batched destination sampler over per-source state rows."""
+
+    def sample(self, rows: np.ndarray,
+               rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _RecVecSampler(_DestinationSampler):
+    """Vectorized Theorem 2 over gathered RecVec rows."""
+
+    def __init__(self, recvecs: np.ndarray) -> None:
+        self.recvecs = recvecs
+
+    def sample(self, rows: np.ndarray,
+               rng: np.random.Generator) -> np.ndarray:
+        from .recvec import determine_edges_rowwise
+        tops = self.recvecs[rows, -1]
+        xs = rng.random(rows.size) * tops
+        return determine_edges_rowwise(xs, self.recvecs, rows)
+
+
+class _BitwiseSampler(_DestinationSampler):
+    """Independent-bit Bernoulli sampler (see the factorization note in
+    :mod:`repro.core.probability`)."""
+
+    def __init__(self, bit_probs: np.ndarray, levels: int) -> None:
+        self.bit_probs = bit_probs
+        self.levels = levels
+
+    def sample(self, rows: np.ndarray,
+               rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros(rows.size, dtype=np.int64)
+        for x in range(self.levels):
+            hits = rng.random(rows.size) < self.bit_probs[rows, x]
+            out |= hits.astype(np.int64) << x
+        return out
+
+
+def _sample_destination_alg5(recvec: np.ndarray, rng: np.random.Generator,
+                             single_random: bool,
+                             stats: GenerationStats) -> int:
+    """One destination via Algorithm 5 (Ideas #2 on, #3 togglable)."""
+    top = len(recvec) - 1
+    x = rng.uniform(0.0, recvec[top])
+    stats.random_draws += 1
+    v = 0
+    last_k = top
+    while x >= recvec[0] and last_k > 0:
+        k = min(bisect_right(recvec, x) - 1, last_k - 1)
+        stats.recursion_steps += 1
+        if single_random:
+            sigma = (recvec[k + 1] - recvec[k]) / recvec[k]
+            x = (x - recvec[k]) / sigma
+        else:
+            x = rng.uniform(0.0, recvec[k])
+            stats.random_draws += 1
+        v += 1 << k
+        last_k = k
+    return v
+
+
+def _sample_destination_bitpeel(bit_probs: np.ndarray,
+                                rng: np.random.Generator,
+                                single_random: bool,
+                                stats: GenerationStats) -> int:
+    """One destination via per-level quadrant selection (Idea #2 off).
+
+    With ``single_random`` the one uniform is repeatedly rescaled through
+    the per-level inverse CDF; without it, a fresh uniform decides each
+    level (the RMAT-style process).
+    """
+    levels = bit_probs.size
+    x = rng.random() if single_random else 0.0
+    if single_random:
+        stats.random_draws += 1
+    v = 0
+    for level in range(levels - 1, -1, -1):
+        p = bit_probs[level]
+        stats.recursion_steps += 1
+        if single_random:
+            if x < 1.0 - p:
+                bit = 0
+                x = x / (1.0 - p)
+            else:
+                bit = 1
+                x = (x - (1.0 - p)) / p
+        else:
+            bit = 1 if rng.random() < p else 0
+            stats.random_draws += 1
+        v |= bit << level
+    return v

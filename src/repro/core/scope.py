@@ -1,0 +1,73 @@
+"""Stochastic scope sizing — Theorem 1.
+
+The size of the scope ``S(u, V)`` (the out-degree of ``u``) is the number of
+successes among ``n = |E|`` Bernoulli trials each succeeding with probability
+``p = P(u->)``; Theorem 1 approximates the Binomial(n, p) with
+``Normal(np, np(1-p))``.  TeG's failure (Figure 8) comes precisely from
+replacing this stochastic draw with the deterministic mean, so the sampler
+also exposes a ``"deterministic"`` method for that baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_scope_sizes", "SCOPE_SIZE_METHODS"]
+
+SCOPE_SIZE_METHODS = ("normal", "binomial", "poisson", "deterministic")
+
+
+def sample_scope_sizes(probabilities: np.ndarray, num_edges: int,
+                       rng: np.random.Generator,
+                       method: str = "normal",
+                       max_size: int | None = None) -> np.ndarray:
+    """Draw scope sizes for a batch of scopes.
+
+    Parameters
+    ----------
+    probabilities:
+        ``p_i = P(u_i ->)`` for each scope (Lemma 1, or Lemma 7 under
+        noise).
+    num_edges:
+        ``n = |E|``, the number of Bernoulli trials.
+    rng:
+        Source of randomness (one stream per worker keeps generation
+        deterministic and partition-independent).
+    method:
+        - ``"normal"`` — Theorem 1's Normal(np, np(1-p)) approximation,
+          rounded to the nearest integer (the paper's method);
+        - ``"binomial"`` — exact Binomial(n, p) (used by tests to bound the
+          approximation error);
+        - ``"poisson"`` — Poisson(np), the classic sparse-graph limit;
+        - ``"deterministic"`` — ``round(np)`` with no randomness (the TeG
+          baseline's static early fixing).
+    max_size:
+        Upper clip, defaulting to no clip.  Callers pass ``|V|`` because a
+        scope of a simple directed graph cannot hold more distinct edges
+        than it has cells.
+
+    Returns
+    -------
+    numpy.ndarray of int64 sizes, clipped to ``[0, max_size]``.
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    if np.any(p < 0) or np.any(p > 1):
+        raise ValueError("scope probabilities must lie in [0, 1]")
+    mean = num_edges * p
+    if method == "normal":
+        std = np.sqrt(mean * (1.0 - p))
+        sizes = np.rint(rng.normal(mean, std)).astype(np.int64)
+    elif method == "binomial":
+        sizes = rng.binomial(num_edges, p).astype(np.int64)
+    elif method == "poisson":
+        sizes = rng.poisson(mean).astype(np.int64)
+    elif method == "deterministic":
+        sizes = np.rint(mean).astype(np.int64)
+    else:
+        raise ValueError(
+            f"unknown scope size method {method!r}; "
+            f"expected one of {SCOPE_SIZE_METHODS}")
+    np.maximum(sizes, 0, out=sizes)
+    if max_size is not None:
+        np.minimum(sizes, max_size, out=sizes)
+    return sizes

@@ -1,0 +1,146 @@
+"""WES/p (RMAT/p) on real OS processes with a file-based shuffle.
+
+:mod:`repro.models.wesp` executes the merge-based dataflow inside one
+process; this module runs it the way the paper's cluster did — parallel
+generators, a shuffle, and parallel mergers — with worker processes and
+the shuffle materialized as partition files (the MapReduce pattern):
+
+1. **map**: each generator process draws its ``|E|/P (1+eps)`` edges over
+   the whole matrix, deduplicates locally, hash-partitions the keys, and
+   writes one sorted run file per destination worker;
+2. **shuffle**: the run files *are* the shuffle (local disk stands in for
+   the wire);
+3. **reduce**: each merger process external-merges its incoming runs,
+   dropping duplicates, and writes its final part file.
+
+The output edge set is identical to
+:class:`repro.models.wesp.WespMemGenerator` with the same configuration
+(tests assert this), so the in-process model and the multiprocess runner
+validate each other.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.rng import stream
+from ..core.seed import SeedMatrix
+from ..models.rmat import rmat_edge_batch
+from .external_sort import external_sort_unique, write_run
+from .shuffle import hash_partition
+
+__all__ = ["WespDistributedResult", "run_wesp_distributed"]
+
+_TAG_WORKER = 7   # must match repro.models.wesp for identical output
+
+
+@dataclass
+class WespDistributedResult:
+    """Outcome of a distributed WES/p run."""
+
+    part_paths: list[Path] = field(default_factory=list)
+    num_edges: int = 0
+    generate_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    partition_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def skew(self) -> float:
+        sizes = np.array(self.partition_sizes, dtype=float)
+        if sizes.size == 0 or sizes.mean() == 0:
+            return 1.0
+        return float(sizes.max() / sizes.mean())
+
+
+def _map_task(args: tuple) -> list[str]:
+    """Generator process: produce this worker's runs, one per reducer."""
+    (worker, scale, num_edges, seed_entries, seed, num_workers, epsilon,
+     shuffle_dir) = args
+    seed_matrix = SeedMatrix(np.array(seed_entries))
+    num_vertices = 1 << scale
+    per_worker = int(np.ceil(num_edges / num_workers * (1 + epsilon)))
+    rng = stream(seed, _TAG_WORKER, worker)
+    batch = rmat_edge_batch(seed_matrix, scale, per_worker, rng)
+    keys = np.unique(batch[:, 0] * np.int64(num_vertices) + batch[:, 1])
+    paths = []
+    for reducer, part in enumerate(hash_partition(keys, num_workers)):
+        path = Path(shuffle_dir) / f"map{worker:03d}-red{reducer:03d}.run"
+        write_run(np.sort(part), path)
+        paths.append(str(path))
+    return paths
+
+
+def _reduce_task(args: tuple) -> tuple[str, int]:
+    """Merger process: external-merge this reducer's runs into a part."""
+    (reducer, run_paths, out_dir, scale) = args
+    unique = external_sort_unique([Path(p) for p in run_paths])
+    num_vertices = np.int64(1 << scale)
+    part_path = Path(out_dir) / f"part-{reducer:04d}.npy"
+    edges = np.column_stack([unique // num_vertices,
+                             unique % num_vertices])
+    np.save(part_path, edges)
+    return str(part_path), int(edges.shape[0])
+
+
+def run_wesp_distributed(scale: int, edge_factor: int = 16,
+                         seed_matrix: SeedMatrix | None = None, *,
+                         num_edges: int | None = None,
+                         num_workers: int = 4, epsilon: float = 0.01,
+                         seed: int = 0, work_dir: Path | str,
+                         processes: int | None = None
+                         ) -> WespDistributedResult:
+    """Run the full WES/p dataflow across worker processes.
+
+    ``work_dir`` receives the shuffle runs and the final ``part-*.npy``
+    files (int64 edge arrays).
+    """
+    from ..core.seed import GRAPH500
+    seed_matrix = seed_matrix if seed_matrix is not None else GRAPH500
+    num_vertices = 1 << scale
+    if num_edges is None:
+        num_edges = edge_factor * num_vertices
+    work_dir = Path(work_dir)
+    shuffle_dir = work_dir / "shuffle"
+    shuffle_dir.mkdir(parents=True, exist_ok=True)
+
+    result = WespDistributedResult()
+    pool_size = processes if processes is not None \
+        else min(num_workers, mp.cpu_count())
+    map_args = [
+        (w, scale, num_edges, seed_matrix.entries.tolist(), seed,
+         num_workers, epsilon, str(shuffle_dir))
+        for w in range(num_workers)
+    ]
+    t0 = time.perf_counter()
+    if pool_size <= 1:
+        map_outputs = [_map_task(a) for a in map_args]
+    else:
+        ctx = mp.get_context("fork")
+        with ctx.Pool(pool_size) as pool:
+            map_outputs = pool.map(_map_task, map_args)
+    result.generate_seconds = time.perf_counter() - t0
+
+    # Group runs by reducer.
+    reduce_args = []
+    for reducer in range(num_workers):
+        runs = [paths[reducer] for paths in map_outputs]
+        reduce_args.append((reducer, runs, str(work_dir), scale))
+    t0 = time.perf_counter()
+    if pool_size <= 1:
+        reduce_outputs = [_reduce_task(a) for a in reduce_args]
+    else:
+        ctx = mp.get_context("fork")
+        with ctx.Pool(pool_size) as pool:
+            reduce_outputs = pool.map(_reduce_task, reduce_args)
+    result.merge_seconds = time.perf_counter() - t0
+
+    for path, count in reduce_outputs:
+        result.part_paths.append(Path(path))
+        result.partition_sizes.append(count)
+        result.num_edges += count
+    return result

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the TrillionG reproduction.
+
+All library errors derive from :class:`TrillionGError` so callers can catch
+one base class.  Simulated resource failures (e.g. an out-of-memory abort in
+the cluster cost model, mirroring the paper's "O.O.M" bars in Figures 11 and
+14) raise :class:`OutOfMemoryError` rather than actually exhausting RAM.
+"""
+
+from __future__ import annotations
+
+
+class TrillionGError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(TrillionGError, ValueError):
+    """An invalid parameter, seed matrix, or graph configuration."""
+
+
+class SeedMatrixError(ConfigurationError):
+    """A seed probability matrix is malformed (shape, range, or sum)."""
+
+
+class FormatError(TrillionGError, ValueError):
+    """A graph file is malformed or uses an unknown format name."""
+
+
+class OutOfMemoryError(TrillionGError, MemoryError):
+    """A (simulated or enforced) memory budget was exceeded.
+
+    The scope-based generators accept a ``memory_budget`` in bytes; a
+    generator whose working set provably exceeds the budget raises this
+    instead of thrashing, which is how the paper's O.O.M outcomes are
+    reproduced deterministically.
+    """
+
+    def __init__(self, message: str, required_bytes: int | None = None,
+                 budget_bytes: int | None = None) -> None:
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+
+
+class CapacityError(TrillionGError, RuntimeError):
+    """A simulated hardware resource other than memory was exhausted
+    (e.g. disk capacity in the cluster cost model)."""
+
+
+class GenerationError(TrillionGError, RuntimeError):
+    """Edge generation failed to converge (e.g. a scope could not reach its
+    requested size because the scope is smaller than the requested count)."""

@@ -1,0 +1,7 @@
+"""Seed fitting and GSCALER-style graph scaling (paper Section 8 future
+work, built on the recursive vector model)."""
+
+from .moments import SeedFit, edge_bit_moments, fit_seed_matrix
+from .scaler import GraphScaler
+
+__all__ = ["SeedFit", "edge_bit_moments", "fit_seed_matrix", "GraphScaler"]

@@ -1,0 +1,14 @@
+"""Graph output formats: TSV, ADJ6, and CSR6 (Section 5)."""
+
+from .adj6 import Adj6Format
+from .base import (GraphFormat, StreamWriter, WriteResult,
+                   available_formats, get_format, register_format)
+from .csr6 import Csr6Format
+from .multi import write_many
+from .tsv import TsvFormat
+
+__all__ = [
+    "Adj6Format", "Csr6Format", "TsvFormat", "GraphFormat", "WriteResult",
+    "available_formats", "get_format", "register_format", "StreamWriter",
+    "write_many",
+]

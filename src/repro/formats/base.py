@@ -1,0 +1,178 @@
+"""Graph output format framework (Section 5).
+
+TrillionG supports three formats: the edge-list text format (TSV), the
+6-byte adjacency-list binary format (ADJ6), and the 6-byte Compressed
+Sparse Row binary format (CSR6).  Writers consume a stream of
+``(vertex, neighbours)`` pairs (the natural AVS output — neighbours of each
+vertex are generated on the same worker); readers provide both full-edge
+materialization and adjacency streaming, and are used by tests and the
+example applications.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import FormatError
+
+__all__ = ["WriteResult", "GraphFormat", "StreamWriter", "register_format", "get_format",
+           "available_formats", "SIX_BYTES"]
+
+#: Width of a vertex ID in the binary formats.  6 bytes covers 2^48
+#: vertices — the paper's minimum for trillion-scale graphs.
+SIX_BYTES = 6
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of writing a graph file."""
+
+    path: Path
+    num_vertices: int
+    num_edges: int
+    bytes_written: int
+
+
+class StreamWriter(ABC):
+    """Incremental writer: feed ``(vertex, neighbours)`` pairs one at a
+    time, then :meth:`close` to finalize the file.
+
+    Enables single-pass teeing of one generation stream into several
+    formats (see :func:`repro.formats.multi.write_many`) without
+    buffering the graph.
+    """
+
+    def __init__(self, path: Path | str, num_vertices: int) -> None:
+        self.path = Path(path)
+        self.num_vertices = num_vertices
+        self.num_edges = 0
+
+    @abstractmethod
+    def add(self, vertex: int, neighbours: np.ndarray) -> None:
+        """Append one vertex's adjacency."""
+
+    @abstractmethod
+    def close(self) -> WriteResult:
+        """Finalize the file and return the outcome."""
+
+    def __enter__(self) -> "StreamWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # Best effort: release the handle; the partial file remains.
+            try:
+                self.close()
+            except Exception:
+                pass
+
+
+class GraphFormat(ABC):
+    """A graph file format: symmetric write/read pair."""
+
+    #: Short name used on the CLI and in benchmarks ("tsv", "adj6", "csr6").
+    name: str = "abstract"
+
+    @abstractmethod
+    def open_writer(self, path: Path | str,
+                    num_vertices: int) -> StreamWriter:
+        """Open an incremental writer for this format."""
+
+    def write(self, path: Path | str,
+              adjacency: Iterable[tuple[int, np.ndarray]],
+              num_vertices: int) -> WriteResult:
+        """Write ``(vertex, neighbours)`` pairs to ``path``."""
+        writer = self.open_writer(path, num_vertices)
+        for u, vs in adjacency:
+            writer.add(int(u), np.asarray(vs, dtype=np.int64))
+        return writer.close()
+
+    @abstractmethod
+    def iter_adjacency(self, path: Path | str
+                       ) -> Iterator[tuple[int, np.ndarray]]:
+        """Stream ``(vertex, neighbours)`` pairs back from ``path``."""
+
+    def read_edges(self, path: Path | str) -> np.ndarray:
+        """Materialize the file as an ``(m, 2)`` edge array."""
+        chunks = []
+        for u, vs in self.iter_adjacency(path):
+            if len(vs):
+                chunk = np.empty((len(vs), 2), dtype=np.int64)
+                chunk[:, 0] = u
+                chunk[:, 1] = vs
+                chunks.append(chunk)
+        if not chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def write_edges(self, path: Path | str, edges: np.ndarray,
+                    num_vertices: int) -> WriteResult:
+        """Convenience: write an edge array (grouped by source first)."""
+        edges = np.asarray(edges, dtype=np.int64)
+        order = np.argsort(edges[:, 0] * np.int64(num_vertices)
+                           + edges[:, 1], kind="stable")
+        edges = edges[order]
+        return self.write(path, _group_by_source(edges), num_vertices)
+
+
+def _group_by_source(sorted_edges: np.ndarray
+                     ) -> Iterator[tuple[int, np.ndarray]]:
+    if sorted_edges.shape[0] == 0:
+        return
+    sources = sorted_edges[:, 0]
+    boundaries = np.nonzero(np.diff(sources))[0] + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [sorted_edges.shape[0]]])
+    for lo, hi in zip(starts, stops):
+        yield int(sources[lo]), sorted_edges[lo:hi, 1]
+
+
+_REGISTRY: dict[str, GraphFormat] = {}
+
+
+def register_format(fmt: GraphFormat) -> GraphFormat:
+    """Register a format instance under its name."""
+    _REGISTRY[fmt.name] = fmt
+    return fmt
+
+
+def get_format(name: str) -> GraphFormat:
+    """Look up a registered format by name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise FormatError(
+            f"unknown graph format {name!r}; available: "
+            f"{sorted(_REGISTRY)}") from None
+
+
+def available_formats() -> list[str]:
+    """Registered format names."""
+    return sorted(_REGISTRY)
+
+
+def encode_id6(values: np.ndarray) -> bytes:
+    """Encode int64 vertex IDs as packed little-endian 6-byte integers."""
+    arr = np.ascontiguousarray(values, dtype="<i8")
+    if arr.size and (arr.min() < 0 or arr.max() >= 1 << 48):
+        raise FormatError("vertex id out of 6-byte range")
+    as_bytes = arr.view(np.uint8).reshape(-1, 8)
+    return as_bytes[:, :SIX_BYTES].tobytes()
+
+
+def decode_id6(data: bytes) -> np.ndarray:
+    """Decode packed little-endian 6-byte integers to int64."""
+    if len(data) % SIX_BYTES:
+        raise FormatError("truncated 6-byte id block")
+    count = len(data) // SIX_BYTES
+    raw = np.frombuffer(data, dtype=np.uint8).reshape(count, SIX_BYTES)
+    out = np.zeros((count, 8), dtype=np.uint8)
+    out[:, :SIX_BYTES] = raw
+    return out.view("<i8").ravel().astype(np.int64)

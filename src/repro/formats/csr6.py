@@ -1,0 +1,116 @@
+"""CSR6 — the 6-byte Compressed Sparse Row binary format (Section 5).
+
+Layout (little-endian)::
+
+    magic        : 4 bytes  (b"CSR6")
+    num_vertices : 8 bytes (uint64)
+    num_edges    : 8 bytes (uint64)
+    indptr       : (num_vertices + 1) x 8 bytes (uint64 prefix sums)
+    indices      : num_edges x 6 bytes (destination ids)
+
+CSR requires vertices in order and each adjacency list sorted — which is
+exactly how the AVS generator emits them, so TrillionG writes CSR6 in one
+streaming pass.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import FormatError
+from .base import (SIX_BYTES, GraphFormat, StreamWriter, WriteResult,
+                   decode_id6, encode_id6, register_format)
+
+__all__ = ["Csr6Format"]
+
+_MAGIC = b"CSR6"
+_HEADER = struct.Struct("<4sQQ")
+
+
+class _Csr6Writer(StreamWriter):
+    """Two-section streaming writer: indices stream behind a placeholder
+    header + indptr block that is backpatched on close."""
+
+    def __init__(self, path: Path | str, num_vertices: int) -> None:
+        super().__init__(path, num_vertices)
+        self._degrees = np.zeros(num_vertices, dtype=np.int64)
+        self._last_u = -1
+        self._file = open(self.path, "wb")
+        self._file.write(_HEADER.pack(_MAGIC, num_vertices, 0))
+        self._file.write(b"\x00" * ((num_vertices + 1) * 8))
+
+    def add(self, vertex: int, neighbours: np.ndarray) -> None:
+        if vertex <= self._last_u:
+            raise FormatError(
+                "CSR6 requires vertices in strictly increasing order "
+                f"(got {vertex} after {self._last_u})")
+        if vertex >= self.num_vertices:
+            raise FormatError(
+                f"vertex {vertex} out of range for "
+                f"|V|={self.num_vertices}")
+        vs = np.asarray(neighbours, dtype=np.int64)
+        if vs.size and np.any(np.diff(vs) < 0):
+            raise FormatError(
+                f"CSR6 requires sorted adjacency lists (vertex {vertex})")
+        self._last_u = vertex
+        self._degrees[vertex] = vs.size
+        self._file.write(encode_id6(vs))
+        self.num_edges += int(vs.size)
+
+    def close(self) -> WriteResult:
+        self._file.seek(0)
+        self._file.write(_HEADER.pack(_MAGIC, self.num_vertices,
+                                      self.num_edges))
+        indptr = np.zeros(self.num_vertices + 1, dtype="<u8")
+        np.cumsum(self._degrees, out=indptr[1:])
+        self._file.write(indptr.tobytes())
+        self._file.close()
+        return WriteResult(self.path, self.num_vertices, self.num_edges,
+                           self.path.stat().st_size)
+
+
+class Csr6Format(GraphFormat):
+    """6-byte CSR binary format."""
+
+    name = "csr6"
+
+    def open_writer(self, path: Path | str,
+                    num_vertices: int) -> StreamWriter:
+        return _Csr6Writer(path, num_vertices)
+
+    def read_csr(self, path: Path | str) -> tuple[np.ndarray, np.ndarray]:
+        """Read the raw (indptr, indices) pair."""
+        path = Path(path)
+        with open(path, "rb") as f:
+            head = f.read(_HEADER.size)
+            if len(head) != _HEADER.size:
+                raise FormatError(f"{path}: truncated CSR6 header")
+            magic, num_vertices, num_edges = _HEADER.unpack(head)
+            if magic != _MAGIC:
+                raise FormatError(f"{path}: not a CSR6 file")
+            indptr_raw = f.read((num_vertices + 1) * 8)
+            if len(indptr_raw) != (num_vertices + 1) * 8:
+                raise FormatError(f"{path}: truncated CSR6 indptr")
+            indptr = np.frombuffer(indptr_raw, dtype="<u8").astype(np.int64)
+            body = f.read(num_edges * SIX_BYTES)
+            if len(body) != num_edges * SIX_BYTES:
+                raise FormatError(f"{path}: truncated CSR6 indices")
+            indices = decode_id6(body)
+        if indptr[-1] != num_edges:
+            raise FormatError(f"{path}: inconsistent CSR6 indptr")
+        return indptr, indices
+
+    def iter_adjacency(self, path: Path | str
+                       ) -> Iterator[tuple[int, np.ndarray]]:
+        indptr, indices = self.read_csr(path)
+        for u in range(indptr.size - 1):
+            lo, hi = int(indptr[u]), int(indptr[u + 1])
+            if hi > lo:
+                yield u, indices[lo:hi]
+
+
+register_format(Csr6Format())

@@ -1,0 +1,75 @@
+"""Barabási–Albert preferential attachment (related work, Section 8).
+
+Each new vertex attaches ``m`` edges to existing vertices with probability
+proportional to their current degree.  Included as the representative of
+the preferential-attachment family the paper cites (ROLL generates BA
+graphs at billion scale); used by tests to contrast BA's power law with
+the Kronecker family's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import Complexity, ScopeBasedGenerator
+
+__all__ = ["BarabasiAlbertGenerator"]
+
+_TAG_ATTACH = 1
+
+
+class BarabasiAlbertGenerator(ScopeBasedGenerator):
+    """BA model via the repeated-endpoint-array trick (O(|E|) time)."""
+
+    name = "Barabasi-Albert"
+    complexity = Complexity("O(|E|)", "O(|E|)", "sequential")
+
+    def __init__(self, scale: int, edge_factor: int = 16, *args,
+                 **kwargs) -> None:
+        super().__init__(scale, edge_factor, *args, **kwargs)
+        self.edges_per_vertex = max(self.num_edges // self.num_vertices, 1)
+        if self.edges_per_vertex >= self.num_vertices:
+            raise ConfigurationError(
+                "edge factor too large for BA: m must be < |V|")
+
+    def generate(self) -> np.ndarray:
+        self.check_memory_budget()
+        rng = self.rng(_TAG_ATTACH)
+        report = self.report
+        m = self.edges_per_vertex
+        n = self.num_vertices
+        with report.time_phase("generate"):
+            # Endpoint pool: every edge contributes both endpoints, so
+            # sampling uniformly from the pool is degree-proportional.
+            sources = np.empty(n * m, dtype=np.int64)
+            targets = np.empty(n * m, dtype=np.int64)
+            pool = np.empty(2 * n * m, dtype=np.int64)
+            pool_size = 0
+            # Seed clique-ish core: first m+1 vertices connected in a ring.
+            count = 0
+            for v in range(1, m + 1):
+                sources[count] = v
+                targets[count] = v - 1
+                pool[pool_size:pool_size + 2] = (v, v - 1)
+                pool_size += 2
+                count += 1
+            for v in range(m + 1, n):
+                picks = pool[rng.integers(0, pool_size, size=m)]
+                # Distinct targets per new vertex (resample collisions).
+                picks = np.unique(picks)
+                while picks.size < m:
+                    extra = pool[rng.integers(0, pool_size,
+                                              size=m - picks.size)]
+                    picks = np.unique(np.concatenate([picks, extra]))
+                picks = picks[:m]
+                sources[count:count + m] = v
+                targets[count:count + m] = picks
+                pool[pool_size:pool_size + m] = v
+                pool[pool_size + m:pool_size + 2 * m] = picks
+                pool_size += 2 * m
+                count += m
+        edges = np.column_stack([sources[:count], targets[:count]])
+        report.realized_edges = count
+        report.peak_memory_bytes = pool.nbytes + edges.nbytes
+        return edges

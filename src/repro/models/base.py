@@ -1,0 +1,178 @@
+"""The scope-based generation framework (Section 3, Algorithms 1-2).
+
+Every generator in :mod:`repro.models` is an instance of the scope-based
+model: it is characterized by its scope shape (WES / AES / AVS), carries the
+corresponding time/space complexity (Table 1), and produces the same
+stochastic graph family.  The :class:`ScopeBasedGenerator` base class holds
+the shared configuration, the Table 1 complexity metadata, and the simulated
+memory budget used to reproduce the paper's O.O.M outcomes deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.rng import stream
+from ..core.seed import GRAPH500, SeedMatrix
+from ..errors import ConfigurationError, OutOfMemoryError
+
+__all__ = ["Complexity", "GenerationReport", "ScopeBasedGenerator",
+           "dedup_edges", "BYTES_PER_EDGE_IN_MEMORY"]
+
+#: Working-set bytes per edge for in-memory duplicate elimination: an 8-byte
+#: packed key plus hash-set overhead (the constant used for O.O.M checks).
+BYTES_PER_EDGE_IN_MEMORY = 16
+
+
+@dataclass(frozen=True)
+class Complexity:
+    """Asymptotic complexity row of Table 1."""
+
+    time: str
+    space: str
+    scope: str  # "WES", "AES", "AVS", or a variant label
+
+
+@dataclass
+class GenerationReport:
+    """What a generation run did: realized counts, phase timings, and the
+    peak working set (estimated from array sizes, since the experiments at
+    paper scale run through the cost model, not psutil)."""
+
+    model: str
+    num_vertices: int = 0
+    requested_edges: int = 0
+    realized_edges: int = 0
+    duplicates_discarded: int = 0
+    peak_memory_bytes: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def time_phase(self, name: str):
+        """Context manager recording a named phase's wall time."""
+        return _PhaseTimer(self, name)
+
+
+class _PhaseTimer:
+    def __init__(self, report: GenerationReport, name: str) -> None:
+        self._report = report
+        self._name = name
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        phases = self._report.phase_seconds
+        phases[self._name] = phases.get(self._name, 0.0) + elapsed
+
+
+class ScopeBasedGenerator(ABC):
+    """Base class for all scope-based generators (Algorithm 1's driver).
+
+    Parameters
+    ----------
+    scale:
+        ``log2(|V|)``.
+    edge_factor:
+        ``|E| / |V|``; overridden by ``num_edges``.
+    seed_matrix:
+        Seed probability matrix (Graph500 standard by default).
+    seed:
+        Master random seed.
+    memory_budget:
+        Optional byte budget.  Generators whose working set provably
+        exceeds it raise :class:`~repro.errors.OutOfMemoryError` up front —
+        this reproduces the paper's O.O.M bars (Figures 11, 14) without
+        actually exhausting RAM.
+    """
+
+    #: Table 1 metadata; subclasses override.
+    complexity: Complexity = Complexity("?", "?", "?")
+    #: Human-readable model name used in reports and benchmark tables.
+    name: str = "abstract"
+
+    def __init__(self, scale: int, edge_factor: int = 16,
+                 seed_matrix: SeedMatrix | None = None, *,
+                 num_edges: int | None = None,
+                 seed: int = 0,
+                 memory_budget: int | None = None) -> None:
+        if scale < 1:
+            raise ConfigurationError("scale must be >= 1")
+        self.scale = scale
+        self.num_vertices = 1 << scale
+        self.num_edges = (num_edges if num_edges is not None
+                          else edge_factor * self.num_vertices)
+        if self.num_edges < 1:
+            raise ConfigurationError("num_edges must be positive")
+        self.seed_matrix = (seed_matrix if seed_matrix is not None
+                            else GRAPH500)
+        self.seed = seed
+        self.memory_budget = memory_budget
+        self.report = GenerationReport(model=self.name,
+                                       num_vertices=self.num_vertices,
+                                       requested_edges=self.num_edges)
+
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def generate(self) -> np.ndarray:
+        """Generate the graph; returns an ``(m, 2)`` edge array and fills
+        ``self.report``."""
+
+    def estimated_peak_bytes(self) -> int:
+        """Model-specific peak working set estimate, used for the budget
+        check.  Default assumes the full edge set is held in memory (the
+        WES behaviour); scope-bounded models override."""
+        return self.num_edges * BYTES_PER_EDGE_IN_MEMORY
+
+    def check_memory_budget(self) -> None:
+        """Raise :class:`OutOfMemoryError` if this run cannot fit."""
+        if self.memory_budget is None:
+            return
+        required = self.estimated_peak_bytes()
+        if required > self.memory_budget:
+            raise OutOfMemoryError(
+                f"{self.name} needs ~{required / 2**30:.2f} GiB but the "
+                f"budget is {self.memory_budget / 2**30:.2f} GiB",
+                required_bytes=required,
+                budget_bytes=self.memory_budget)
+
+    def rng(self, *labels: int) -> np.random.Generator:
+        """Per-purpose random stream (see :mod:`repro.core.rng`)."""
+        return stream(self.seed, *labels)
+
+    # ------------------------------------------------------------------
+
+    def pack_edges(self, edges: np.ndarray) -> np.ndarray:
+        """Pack ``(u, v)`` rows into sortable int64 keys ``u * |V| + v``."""
+        return edges[:, 0] * np.int64(self.num_vertices) + edges[:, 1]
+
+    def unpack_edges(self, keys: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`pack_edges` (rows come out source-sorted)."""
+        n = np.int64(self.num_vertices)
+        return np.column_stack([keys // n, keys % n])
+
+
+def dedup_edges(edges: np.ndarray, num_vertices: int
+                ) -> tuple[np.ndarray, int]:
+    """Remove repeated edges; returns (unique edges sorted by (u, v),
+    number of duplicates removed).  This is Algorithm 2's set-union
+    semantics applied in bulk."""
+    if edges.shape[0] == 0:
+        return edges, 0
+    keys = np.sort(edges[:, 0] * np.int64(num_vertices) + edges[:, 1])
+    keep = np.empty(keys.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    unique = keys[keep]
+    n = np.int64(num_vertices)
+    return np.column_stack([unique // n, unique % n]), keys.size - unique.size

@@ -1,0 +1,48 @@
+"""TeG — the non-stochastic decomposition baseline (Figure 8's foil).
+
+The paper describes TeG as decomposing the adjacency matrix into
+submatrices (scopes) whose edge counts are "statically (early) fixed"
+instead of drawn stochastically; as a result its degree plot is "far from
+RMAT's".  TeG is reproduced with exactly that one change: per-vertex scopes
+whose sizes are the deterministic expectation ``round(|E| * P(u->))``
+instead of Theorem 1's normal draw.  Destinations within a scope are still
+sampled stochastically (so the *in*-degree side stays smooth; the failure
+shows on the statically fixed side, as in Figure 8's TeG panel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.generator import RecursiveVectorGenerator
+from .base import Complexity, ScopeBasedGenerator
+
+__all__ = ["TegGenerator"]
+
+
+class TegGenerator(ScopeBasedGenerator):
+    """TeG-style static decomposition generator."""
+
+    name = "TeG"
+    complexity = Complexity("O(|E| log|V| / P)", "O(d_max)", "AVS-static")
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.inner = RecursiveVectorGenerator(
+            self.scale, seed_matrix=self.seed_matrix,
+            num_edges=self.num_edges, seed=self.seed,
+            degree_method="deterministic")
+
+    def estimated_peak_bytes(self) -> int:
+        return int(max(self.num_edges / self.num_vertices
+                       * self.inner.block_size * 4, 1024) * 8)
+
+    def generate(self) -> np.ndarray:
+        self.check_memory_budget()
+        report = self.report
+        with report.time_phase("generate"):
+            edges = self.inner.edges()
+        report.realized_edges = edges.shape[0]
+        report.duplicates_discarded = self.inner.stats.duplicates_discarded
+        report.peak_memory_bytes = self.estimated_peak_bytes()
+        return edges

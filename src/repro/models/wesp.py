@@ -1,0 +1,171 @@
+"""WES/p — the merge-based parallel RMAT variant (Section 3.2, Algorithm 3).
+
+``P`` workers each generate ``|E|/P * (1 + epsilon)`` edges over the *whole*
+adjacency matrix, then all edges are shuffled by a hash of the edge key and
+each worker merge-deduplicates its incoming partition.  This is the paper's
+RMAT/p baseline (their own distributed implementation used in Figure 11(b)).
+
+Two duplicate-elimination variants, as in the paper:
+
+- :class:`WespMemGenerator` — in-memory merge (fails the memory budget for
+  graphs whose per-worker partition exceeds it, and suffers partition skew);
+- :class:`WespDiskGenerator` — external sort per partition.
+
+This module executes the P logical workers within one process (the data
+movement and merge work is identical); :mod:`repro.dist.runner` runs the
+same dataflow across real processes.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..dist.external_sort import external_sort_unique, write_run
+from ..dist.shuffle import hash_partition
+from .base import (BYTES_PER_EDGE_IN_MEMORY, Complexity, ScopeBasedGenerator)
+from .rmat import rmat_edge_batch
+
+__all__ = ["WespMemGenerator", "WespDiskGenerator"]
+
+_TAG_WORKER = 7
+
+
+class _WespBase(ScopeBasedGenerator):
+    """Shared generate/shuffle phases of WES/p."""
+
+    def __init__(self, *args, num_workers: int = 4, epsilon: float = 0.01,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.epsilon = epsilon
+
+    def _generate_local_sets(self) -> list[np.ndarray]:
+        """Algorithm 3 lines 1-6: each worker's local (deduplicated) edge
+        key set of target size |E|/P * (1 + epsilon)."""
+        per_worker = int(np.ceil(self.num_edges / self.num_workers
+                                 * (1 + self.epsilon)))
+        local_sets = []
+        for worker in range(self.num_workers):
+            rng = self.rng(_TAG_WORKER, worker)
+            batch = rmat_edge_batch(self.seed_matrix, self.scale,
+                                    per_worker, rng)
+            keys = np.sort(self.pack_edges(batch))
+            keep = np.empty(keys.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+            unique = keys[keep]
+            self.report.duplicates_discarded += keys.size - unique.size
+            local_sets.append(unique)
+        return local_sets
+
+    def _shuffle(self, local_sets: list[np.ndarray]) -> list[np.ndarray]:
+        """Algorithm 3 line 7: hash-shuffle local sets across workers.
+
+        Returns per-destination-worker partitions; also records the skew
+        the paper blames for WES/p's scaling wall.
+        """
+        partitions: list[list[np.ndarray]] = [
+            [] for _ in range(self.num_workers)]
+        for keys in local_sets:
+            parts = hash_partition(keys, self.num_workers)
+            for w, part in enumerate(parts):
+                partitions[w].append(part)
+        merged = [np.concatenate(parts) if parts else
+                  np.empty(0, dtype=np.int64) for parts in partitions]
+        sizes = np.array([m.size for m in merged], dtype=np.float64)
+        if sizes.sum() > 0:
+            self.report.phase_seconds.setdefault("shuffle", 0.0)
+            self.skew = float(sizes.max() / max(sizes.mean(), 1.0))
+        else:
+            self.skew = 1.0
+        return merged
+
+
+class WespMemGenerator(_WespBase):
+    """WES/p with in-memory merge (the paper's RMAT/p-mem)."""
+
+    name = "RMAT/p-mem"
+    complexity = Complexity(
+        "O(|E| log|V| / P) + T_shuffle + T_merge", "O(|E| / P)", "WES/p")
+
+    def estimated_peak_bytes(self) -> int:
+        # The largest post-shuffle partition must fit in one worker.  With
+        # hashing the expectation is |E|/P, but skew pushes it higher; use
+        # the expectation for the up-front check (skew shows up in results).
+        return int(self.num_edges / self.num_workers
+                   * BYTES_PER_EDGE_IN_MEMORY)
+
+    def generate(self) -> np.ndarray:
+        self.check_memory_budget()
+        report = self.report
+        with report.time_phase("generate"):
+            local_sets = self._generate_local_sets()
+        with report.time_phase("shuffle"):
+            partitions = self._shuffle(local_sets)
+        with report.time_phase("merge"):
+            merged_parts = []
+            peak = 0
+            for part in partitions:
+                keys = np.sort(part)
+                if keys.size:
+                    keep = np.empty(keys.size, dtype=bool)
+                    keep[0] = True
+                    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+                    unique = keys[keep]
+                    report.duplicates_discarded += keys.size - unique.size
+                    merged_parts.append(unique)
+                    peak = max(peak, keys.size * BYTES_PER_EDGE_IN_MEMORY)
+        keys = np.sort(np.concatenate(merged_parts)) if merged_parts \
+            else np.empty(0, dtype=np.int64)
+        report.realized_edges = keys.size
+        report.peak_memory_bytes = peak
+        return self.unpack_edges(keys)
+
+
+class WespDiskGenerator(_WespBase):
+    """WES/p with external-sort merge (the paper's RMAT/p-disk)."""
+
+    name = "RMAT/p-disk"
+    complexity = Complexity(
+        "O(|E| log|V| / P) + T_shuffle + sort(|E|/P)", "O(batch)", "WES/p")
+
+    def __init__(self, *args, batch_edges: int = 1 << 18,
+                 spill_dir: str | None = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.batch_edges = batch_edges
+        self.spill_dir = spill_dir
+
+    def estimated_peak_bytes(self) -> int:
+        return self.batch_edges * BYTES_PER_EDGE_IN_MEMORY
+
+    def generate(self) -> np.ndarray:
+        self.check_memory_budget()
+        report = self.report
+        with report.time_phase("generate"):
+            local_sets = self._generate_local_sets()
+        with report.time_phase("shuffle"):
+            partitions = self._shuffle(local_sets)
+        with tempfile.TemporaryDirectory(dir=self.spill_dir) as tmp:
+            with report.time_phase("merge"):
+                outputs = []
+                for w, part in enumerate(partitions):
+                    runs = []
+                    for j in range(0, part.size, self.batch_edges):
+                        run = np.sort(part[j:j + self.batch_edges])
+                        path = Path(tmp) / f"w{w}-run{j}.bin"
+                        runs.append(write_run(run, path))
+                    before = part.size
+                    unique = external_sort_unique(
+                        runs, chunk_items=self.batch_edges)
+                    report.duplicates_discarded += before - unique.size
+                    outputs.append(unique)
+        keys = np.sort(np.concatenate(outputs)) if outputs \
+            else np.empty(0, dtype=np.int64)
+        report.realized_edges = keys.size
+        report.peak_memory_bytes = self.estimated_peak_bytes()
+        return self.unpack_edges(keys)

@@ -1,0 +1,197 @@
+"""gMark-style graph configuration (Section 6.2, Figure 7).
+
+A configuration consists of three tables:
+
+- **node types** with vertex-ratio shares of ``|V|``,
+- **edge predicates** with edge-ratio shares of ``|E|``,
+- **degree rules** binding (source type, predicate, target type) to an
+  out-degree and an in-degree distribution.
+
+The built-in :func:`bibliographical_config` mirrors the paper's running
+example: ``researcher --author--> paper`` with Zipfian out-degree and
+Gaussian in-degree, etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .distributions import (DegreeDistribution, Gaussian, Uniform, Zipfian)
+
+__all__ = ["NodeType", "Predicate", "EdgeRule", "GraphConfig",
+           "bibliographical_config"]
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """A vertex class occupying ``ratio`` of the vertex space."""
+
+    name: str
+    ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.ratio <= 1:
+            raise ConfigurationError(
+                f"node type {self.name!r} ratio must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An edge label owning ``ratio`` of the edge budget."""
+
+    name: str
+    ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.ratio <= 1:
+            raise ConfigurationError(
+                f"predicate {self.name!r} ratio must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class EdgeRule:
+    """One row of the degree-distribution table: all ``predicate`` edges
+    from ``source`` nodes to ``target`` nodes, with the given marginal
+    degree distributions."""
+
+    source: str
+    predicate: str
+    target: str
+    out_distribution: DegreeDistribution
+    in_distribution: DegreeDistribution
+
+
+@dataclass
+class GraphConfig:
+    """A complete rich-graph description."""
+
+    num_vertices: int
+    num_edges: int
+    node_types: list[NodeType]
+    predicates: list[Predicate]
+    rules: list[EdgeRule]
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.num_vertices < len(self.node_types):
+            raise ConfigurationError("fewer vertices than node types")
+        if self.num_edges < 1:
+            raise ConfigurationError("num_edges must be positive")
+        names = [t.name for t in self.node_types]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate node type names")
+        pred_names = [p.name for p in self.predicates]
+        if len(set(pred_names)) != len(pred_names):
+            raise ConfigurationError("duplicate predicate names")
+        type_ratio = sum(t.ratio for t in self.node_types)
+        if abs(type_ratio - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"node type ratios must sum to 1, got {type_ratio}")
+        pred_ratio = sum(p.ratio for p in self.predicates)
+        if abs(pred_ratio - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"predicate ratios must sum to 1, got {pred_ratio}")
+        known_types = set(names)
+        known_preds = set(pred_names)
+        used_preds = set()
+        for rule in self.rules:
+            if rule.source not in known_types:
+                raise ConfigurationError(
+                    f"rule references unknown source type {rule.source!r}")
+            if rule.target not in known_types:
+                raise ConfigurationError(
+                    f"rule references unknown target type {rule.target!r}")
+            if rule.predicate not in known_preds:
+                raise ConfigurationError(
+                    f"rule references unknown predicate {rule.predicate!r}")
+            used_preds.add(rule.predicate)
+        missing = known_preds - used_preds
+        if missing:
+            raise ConfigurationError(
+                f"predicates without any rule: {sorted(missing)}")
+
+    # -- derived lookups ----------------------------------------------------
+
+    def vertex_range(self, type_name: str) -> tuple[int, int]:
+        """Global vertex ID range ``[start, stop)`` of a node type.
+
+        Types are laid out contiguously in declaration order; the last
+        type absorbs the rounding remainder.
+        """
+        start = 0
+        for i, t in enumerate(self.node_types):
+            count = (self.num_vertices - start
+                     if i == len(self.node_types) - 1
+                     else int(self.num_vertices * t.ratio))
+            if t.name == type_name:
+                return start, start + count
+            start += count
+        raise ConfigurationError(f"unknown node type {type_name!r}")
+
+    def type_of_vertex(self, vertex: int) -> str:
+        """Node type owning a global vertex ID."""
+        for t in self.node_types:
+            lo, hi = self.vertex_range(t.name)
+            if lo <= vertex < hi:
+                return t.name
+        raise ConfigurationError(f"vertex {vertex} out of range")
+
+    def predicate_ratio(self, name: str) -> float:
+        for p in self.predicates:
+            if p.name == name:
+                return p.ratio
+        raise ConfigurationError(f"unknown predicate {name!r}")
+
+    def rule_edge_budget(self, rule: EdgeRule) -> int:
+        """Edge budget of one rule: the predicate's share of ``|E|``
+        split evenly among rules carrying the same predicate."""
+        sharing = sum(1 for r in self.rules
+                      if r.predicate == rule.predicate)
+        return int(self.num_edges * self.predicate_ratio(rule.predicate)
+                   / sharing)
+
+    def predicate_id(self, name: str) -> int:
+        for i, p in enumerate(self.predicates):
+            if p.name == name:
+                return i
+        raise ConfigurationError(f"unknown predicate {name!r}")
+
+
+def bibliographical_config(num_vertices: int = 1 << 14,
+                           num_edges: int | None = None) -> GraphConfig:
+    """The paper's bibliographical example (Figure 7).
+
+    Node types: researcher (50%), paper (30%), journal (10%), conference
+    (10%).  Edges: ``author`` (researcher->paper, Zipfian out / Gaussian
+    in, 50% of |E|), ``publishedIn`` (paper->journal, Gaussian out /
+    Zipfian in, 30%), ``presentedIn`` (paper->conference, Uniform out /
+    Zipfian in, 20%).
+    """
+    if num_edges is None:
+        num_edges = num_vertices * 8
+    return GraphConfig(
+        num_vertices=num_vertices,
+        num_edges=num_edges,
+        node_types=[
+            NodeType("researcher", 0.5),
+            NodeType("paper", 0.3),
+            NodeType("journal", 0.1),
+            NodeType("conference", 0.1),
+        ],
+        predicates=[
+            Predicate("author", 0.5),
+            Predicate("publishedIn", 0.3),
+            Predicate("presentedIn", 0.2),
+        ],
+        rules=[
+            EdgeRule("researcher", "author", "paper",
+                     Zipfian(-1.662), Gaussian()),
+            EdgeRule("paper", "publishedIn", "journal",
+                     Gaussian(), Zipfian(-1.4)),
+            EdgeRule("paper", "presentedIn", "conference",
+                     Uniform(1, 3), Zipfian(-2.0)),
+        ],
+    )

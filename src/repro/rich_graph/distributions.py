@@ -1,0 +1,180 @@
+"""Degree-distribution specifications for the ERV model (Section 6.1).
+
+Table 3 maps seed parameters to degree distributions:
+
+- ``Kout[a, b; c, d]`` yields a Zipfian *out*-degree distribution with
+  slope ``log(c+d) - log(a+b)`` (Lemma 6);
+- ``Kin[a, b; c, d]`` yields a Zipfian *in*-degree distribution with slope
+  ``log(b+d) - log(a+c)``;
+- the uniform seed yields a Gaussian with mean ``|E|/|V|``.
+
+This module inverts those relationships: given a requested distribution it
+produces the seed matrix that realizes it, so the ERV model "can precisely
+control the slope of Zipfian distribution by adjusting seed parameters,
+which is not supported by gMark".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.seed import SeedMatrix
+from ..errors import ConfigurationError
+
+__all__ = ["Zipfian", "Gaussian", "Uniform", "Empirical",
+           "DegreeDistribution", "seed_for_out_slope", "seed_for_in_slope",
+           "parse_distribution"]
+
+
+@dataclass(frozen=True)
+class Zipfian:
+    """Power-law degree distribution with the given (negative) log-log
+    slope.  The Graph500 seed corresponds to slope ~-1.662."""
+
+    slope: float = -1.662
+
+    def __post_init__(self) -> None:
+        if self.slope >= 0:
+            raise ConfigurationError(
+                f"Zipfian slope must be negative, got {self.slope}")
+
+    kind = "zipfian"
+
+
+@dataclass(frozen=True)
+class Gaussian:
+    """Normal degree distribution; the mean is fixed by the edge budget
+    (``|E| / |V|``), matching Table 3's uniform-seed row."""
+
+    kind = "gaussian"
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """Degrees uniform on ``[low, high]`` (gMark's third built-in; the
+    paper notes it is trivially generated with a plain random function)."""
+
+    low: int = 1
+    high: int = 4
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.low <= self.high):
+            raise ConfigurationError(
+                f"invalid uniform degree range [{self.low}, {self.high}]")
+
+    kind = "uniform"
+
+
+class Empirical:
+    """Degree distribution given as a data dictionary (frequency table).
+
+    The paper's Section 8 singles this out as the promising direction for
+    matching LDBC SNB Datagen: "improve TrillionG to support frequency
+    distributions, for example, by using data dictionaries".  ``degrees``
+    and ``weights`` define a discrete distribution over degree values;
+    out-degrees are drawn from it directly, and as an in-distribution each
+    destination receives a popularity weight drawn from it (destinations
+    are then sampled proportionally to popularity).
+
+    The table can come straight from a real graph via
+    :meth:`Empirical.from_degree_sequence` — the LDBC "learn the
+    frequencies from data" workflow.
+    """
+
+    kind = "empirical"
+
+    def __init__(self, degrees, weights) -> None:
+        import numpy as np
+        self.degrees = np.asarray(degrees, dtype=np.int64)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.degrees.size == 0:
+            raise ConfigurationError("empirical table cannot be empty")
+        if self.degrees.size != self.weights.size:
+            raise ConfigurationError(
+                "degrees and weights must have the same length")
+        if (self.degrees < 0).any():
+            raise ConfigurationError("degrees must be non-negative")
+        if (self.weights < 0).any() or self.weights.sum() <= 0:
+            raise ConfigurationError(
+                "weights must be non-negative with positive total")
+        self.probabilities = self.weights / self.weights.sum()
+
+    @classmethod
+    def from_degree_sequence(cls, degree_sequence) -> "Empirical":
+        """Build the dictionary from an observed degree sequence."""
+        import numpy as np
+        seq = np.asarray(degree_sequence, dtype=np.int64)
+        counts = np.bincount(seq)
+        degrees = np.nonzero(counts)[0]
+        return cls(degrees, counts[degrees])
+
+    @property
+    def mean(self) -> float:
+        return float((self.degrees * self.probabilities).sum())
+
+    def __eq__(self, other: object) -> bool:
+        import numpy as np
+        if not isinstance(other, Empirical):
+            return NotImplemented
+        return (np.array_equal(self.degrees, other.degrees)
+                and np.array_equal(self.weights, other.weights))
+
+    def __repr__(self) -> str:
+        return (f"Empirical({self.degrees.size} degree values, "
+                f"mean {self.mean:.2f})")
+
+
+DegreeDistribution = Zipfian | Gaussian | Uniform | Empirical
+
+
+def _split_rows(total_low_half: float) -> tuple[float, float]:
+    """Split a row/column mass into two entries with the Graph500-like
+    3:1 internal ratio (the internal split does not affect the controlled
+    marginal; any split works, this one keeps seeds familiar)."""
+    return 0.75 * total_low_half, 0.25 * total_low_half
+
+
+def seed_for_out_slope(slope: float) -> SeedMatrix:
+    """Invert Lemma 6 for the out-degree side.
+
+    ``slope = log2(c+d) - log2(a+b)`` and ``(a+b) + (c+d) = 1`` give
+    ``a+b = 1 / (1 + 2**slope)``.
+    """
+    if slope >= 0:
+        raise ConfigurationError("Zipfian slope must be negative")
+    ratio = 2.0 ** slope
+    top = 1.0 / (1.0 + ratio)       # a + b
+    bottom = 1.0 - top              # c + d
+    a, b = _split_rows(top)
+    c, d = _split_rows(bottom)
+    return SeedMatrix.rmat(a, b, c, d)
+
+
+def seed_for_in_slope(slope: float) -> SeedMatrix:
+    """Invert Lemma 6 for the in-degree side:
+    ``slope = log2(b+d) - log2(a+c)``."""
+    if slope >= 0:
+        raise ConfigurationError("Zipfian slope must be negative")
+    ratio = 2.0 ** slope
+    left = 1.0 / (1.0 + ratio)      # a + c
+    right = 1.0 - left              # b + d
+    a, c = _split_rows(left)
+    b, d = _split_rows(right)
+    return SeedMatrix.rmat(a, b, c, d)
+
+
+def parse_distribution(spec: str) -> DegreeDistribution:
+    """Parse ``"zipfian:-1.662"``, ``"gaussian"``, or ``"uniform:1:4"``
+    (the CLI / config-file syntax)."""
+    parts = spec.lower().split(":")
+    kind = parts[0]
+    if kind == "zipfian":
+        slope = float(parts[1]) if len(parts) > 1 else -1.662
+        return Zipfian(slope)
+    if kind == "gaussian":
+        return Gaussian()
+    if kind == "uniform":
+        low = int(parts[1]) if len(parts) > 1 else 1
+        high = int(parts[2]) if len(parts) > 2 else 4
+        return Uniform(low, high)
+    raise ConfigurationError(f"unknown degree distribution {spec!r}")

@@ -1,0 +1,125 @@
+"""Load/save gMark-style graph configurations as JSON files.
+
+gMark consumes user-defined schema files; this module provides the
+equivalent for :class:`~repro.rich_graph.config.GraphConfig` so rich
+graphs are reproducible from a checked-in configuration document.
+
+Document shape::
+
+    {
+      "num_vertices": 16384,
+      "num_edges": 131072,
+      "node_types":  [{"name": "researcher", "ratio": 0.5}, ...],
+      "predicates":  [{"name": "author", "ratio": 0.5}, ...],
+      "rules": [
+        {"source": "researcher", "predicate": "author",
+         "target": "paper",
+         "out_distribution": {"kind": "zipfian", "slope": -1.662},
+         "in_distribution":  {"kind": "gaussian"}},
+        ...
+      ]
+    }
+
+Distribution kinds: ``zipfian`` (``slope``), ``gaussian`` (no params),
+``uniform`` (``low``, ``high``), ``empirical`` (``degrees``, ``weights``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .config import EdgeRule, GraphConfig, NodeType, Predicate
+from .distributions import (DegreeDistribution, Empirical, Gaussian,
+                            Uniform, Zipfian)
+
+__all__ = ["load_config", "save_config", "config_to_dict",
+           "config_from_dict"]
+
+
+def _distribution_to_dict(dist: DegreeDistribution) -> dict:
+    if isinstance(dist, Zipfian):
+        return {"kind": "zipfian", "slope": dist.slope}
+    if isinstance(dist, Gaussian):
+        return {"kind": "gaussian"}
+    if isinstance(dist, Uniform):
+        return {"kind": "uniform", "low": dist.low, "high": dist.high}
+    if isinstance(dist, Empirical):
+        return {"kind": "empirical",
+                "degrees": dist.degrees.tolist(),
+                "weights": dist.weights.tolist()}
+    raise ConfigurationError(f"unsupported distribution {dist!r}")
+
+
+def _distribution_from_dict(doc: dict) -> DegreeDistribution:
+    try:
+        kind = doc["kind"]
+    except (TypeError, KeyError):
+        raise ConfigurationError(
+            f"distribution document needs a 'kind': {doc!r}") from None
+    if kind == "zipfian":
+        return Zipfian(float(doc.get("slope", -1.662)))
+    if kind == "gaussian":
+        return Gaussian()
+    if kind == "uniform":
+        return Uniform(int(doc.get("low", 1)), int(doc.get("high", 4)))
+    if kind == "empirical":
+        return Empirical(doc["degrees"], doc["weights"])
+    raise ConfigurationError(f"unknown distribution kind {kind!r}")
+
+
+def config_to_dict(config: GraphConfig) -> dict:
+    """Serialize a configuration to a JSON-compatible dict."""
+    return {
+        "num_vertices": config.num_vertices,
+        "num_edges": config.num_edges,
+        "node_types": [{"name": t.name, "ratio": t.ratio}
+                       for t in config.node_types],
+        "predicates": [{"name": p.name, "ratio": p.ratio}
+                       for p in config.predicates],
+        "rules": [{
+            "source": r.source,
+            "predicate": r.predicate,
+            "target": r.target,
+            "out_distribution": _distribution_to_dict(r.out_distribution),
+            "in_distribution": _distribution_to_dict(r.in_distribution),
+        } for r in config.rules],
+    }
+
+
+def config_from_dict(doc: dict) -> GraphConfig:
+    """Build (and validate) a configuration from a parsed document."""
+    try:
+        node_types = [NodeType(t["name"], float(t["ratio"]))
+                      for t in doc["node_types"]]
+        predicates = [Predicate(p["name"], float(p["ratio"]))
+                      for p in doc["predicates"]]
+        rules = [EdgeRule(r["source"], r["predicate"], r["target"],
+                          _distribution_from_dict(r["out_distribution"]),
+                          _distribution_from_dict(r["in_distribution"]))
+                 for r in doc["rules"]]
+        return GraphConfig(int(doc["num_vertices"]),
+                           int(doc["num_edges"]),
+                           node_types, predicates, rules)
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(
+            f"malformed graph configuration document: {exc}") from exc
+
+
+def save_config(config: GraphConfig, path: Path | str) -> Path:
+    """Write a configuration as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(config_to_dict(config), indent=2) + "\n",
+                    encoding="ascii")
+    return path
+
+
+def load_config(path: Path | str) -> GraphConfig:
+    """Load and validate a configuration from a JSON file."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{path}: not valid JSON ({exc})") from exc
+    return config_from_dict(doc)

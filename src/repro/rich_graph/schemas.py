@@ -1,0 +1,153 @@
+"""Built-in rich-graph schemas.
+
+gMark ships four built-in schemas (Section 8: bibliographical, WatDiv,
+LDBC SNB, SP2Bench); the bibliographical one is the paper's running
+example and lives in :mod:`repro.rich_graph.config`.  This module adds
+configurations shaped after the other three, so the ERV generator covers
+the same schema set.  The distributions are the published characterizations
+of each benchmark's data (product/user skews for WatDiv, friendship power
+laws for SNB, citation structure for SP2Bench), expressed in the
+configuration vocabulary this library supports.
+"""
+
+from __future__ import annotations
+
+from .config import EdgeRule, GraphConfig, NodeType, Predicate
+from .distributions import Gaussian, Uniform, Zipfian
+
+__all__ = ["watdiv_config", "snb_config", "sp2bench_config",
+           "BUILTIN_SCHEMAS", "builtin_schema"]
+
+
+def watdiv_config(num_vertices: int = 1 << 14,
+                  num_edges: int | None = None) -> GraphConfig:
+    """WatDiv-like e-commerce schema: users review and purchase
+    products, products belong to retailers.
+
+    WatDiv's stress-testing design gives products a heavy-tailed review
+    distribution (popular products gather most reviews) while each user
+    writes a modest, roughly normal number of reviews.
+    """
+    if num_edges is None:
+        num_edges = num_vertices * 8
+    return GraphConfig(
+        num_vertices=num_vertices,
+        num_edges=num_edges,
+        node_types=[
+            NodeType("user", 0.55),
+            NodeType("product", 0.35),
+            NodeType("retailer", 0.1),
+        ],
+        predicates=[
+            Predicate("reviews", 0.45),
+            Predicate("purchases", 0.35),
+            Predicate("sells", 0.2),
+        ],
+        rules=[
+            EdgeRule("user", "reviews", "product",
+                     Gaussian(), Zipfian(-1.8)),
+            EdgeRule("user", "purchases", "product",
+                     Zipfian(-1.2), Zipfian(-1.5)),
+            EdgeRule("retailer", "sells", "product",
+                     Zipfian(-0.8), Uniform(1, 2)),
+        ],
+    )
+
+
+def snb_config(num_vertices: int = 1 << 14,
+               num_edges: int | None = None) -> GraphConfig:
+    """LDBC SNB-like social-network schema: persons know persons, create
+    posts, and like posts.
+
+    Friendship degrees follow the social power law; posts-per-person is
+    near-normal; likes concentrate on viral posts.
+    """
+    if num_edges is None:
+        num_edges = num_vertices * 10
+    return GraphConfig(
+        num_vertices=num_vertices,
+        num_edges=num_edges,
+        node_types=[
+            NodeType("person", 0.3),
+            NodeType("post", 0.6),
+            NodeType("forum", 0.1),
+        ],
+        predicates=[
+            Predicate("knows", 0.3),
+            Predicate("creates", 0.3),
+            Predicate("likes", 0.3),
+            Predicate("containerOf", 0.1),
+        ],
+        rules=[
+            EdgeRule("person", "knows", "person",
+                     Zipfian(-1.5), Zipfian(-1.5)),
+            EdgeRule("person", "creates", "post",
+                     Gaussian(), Uniform(1, 1)),
+            EdgeRule("person", "likes", "post",
+                     Gaussian(), Zipfian(-2.0)),
+            EdgeRule("forum", "containerOf", "post",
+                     Zipfian(-1.0), Uniform(1, 1)),
+        ],
+    )
+
+
+def sp2bench_config(num_vertices: int = 1 << 14,
+                    num_edges: int | None = None) -> GraphConfig:
+    """SP2Bench-like DBLP schema: articles cite articles and appear in
+    journals; authors write articles.
+
+    Citation in-degrees are the classic heavy tail; articles-per-journal
+    is moderately skewed; authorship is near-normal.
+    """
+    if num_edges is None:
+        num_edges = num_vertices * 8
+    return GraphConfig(
+        num_vertices=num_vertices,
+        num_edges=num_edges,
+        node_types=[
+            NodeType("author", 0.4),
+            NodeType("article", 0.5),
+            NodeType("journal", 0.1),
+        ],
+        predicates=[
+            Predicate("creator", 0.4),
+            Predicate("cites", 0.4),
+            Predicate("partOf", 0.2),
+        ],
+        rules=[
+            EdgeRule("author", "creator", "article",
+                     Zipfian(-1.7), Gaussian()),
+            EdgeRule("article", "cites", "article",
+                     Gaussian(), Zipfian(-2.2)),
+            EdgeRule("article", "partOf", "journal",
+                     Uniform(1, 1), Zipfian(-1.1)),
+        ],
+    )
+
+
+#: All built-in schemas by name (the bibliographical one included).
+def _bibliographical(num_vertices: int = 1 << 14,
+                     num_edges: int | None = None) -> GraphConfig:
+    from .config import bibliographical_config
+    return bibliographical_config(num_vertices, num_edges)
+
+
+BUILTIN_SCHEMAS = {
+    "bibliographical": _bibliographical,
+    "watdiv": watdiv_config,
+    "snb": snb_config,
+    "sp2bench": sp2bench_config,
+}
+
+
+def builtin_schema(name: str, num_vertices: int = 1 << 14,
+                   num_edges: int | None = None) -> GraphConfig:
+    """Look up a built-in schema by name."""
+    try:
+        factory = BUILTIN_SCHEMAS[name.lower()]
+    except KeyError:
+        from ..errors import ConfigurationError
+        raise ConfigurationError(
+            f"unknown built-in schema {name!r}; available: "
+            f"{sorted(BUILTIN_SCHEMAS)}") from None
+    return factory(num_vertices, num_edges)

@@ -1,0 +1,169 @@
+"""Tests for structural metrics, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import RecursiveVectorGenerator
+from repro.analysis import (clustering_coefficient_sampled, pagerank,
+                            reciprocity, triangle_count)
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    g = RecursiveVectorGenerator(9, 8, seed=1)
+    return g.edges(), 512
+
+
+class TestReciprocity:
+    def test_fully_reciprocal(self):
+        edges = np.array([[0, 1], [1, 0], [2, 3], [3, 2]])
+        assert reciprocity(edges, 4) == 1.0
+
+    def test_no_reciprocity(self):
+        edges = np.array([[0, 1], [1, 2]])
+        assert reciprocity(edges, 4) == 0.0
+
+    def test_half(self):
+        edges = np.array([[0, 1], [1, 0], [2, 3], [0, 2]])
+        assert reciprocity(edges, 4) == 0.5
+
+    def test_empty(self):
+        assert reciprocity(np.empty((0, 2), dtype=np.int64), 4) == 0.0
+
+    def test_matches_networkx(self, small_graph):
+        edges, n = small_graph
+        g = nx.DiGraph()
+        g.add_edges_from(map(tuple, edges.tolist()))
+        assert abs(reciprocity(edges, n)
+                   - nx.overall_reciprocity(g)) < 1e-9
+
+
+class TestTriangles:
+    def test_single_triangle(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0]])
+        assert triangle_count(edges, 3) == 1
+
+    def test_no_triangle(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        assert triangle_count(edges, 4) == 0
+
+    def test_k4(self):
+        # K4 has 4 triangles.
+        edges = np.array([[a, b] for a in range(4) for b in range(4)
+                          if a < b])
+        assert triangle_count(edges, 4) == 4
+
+    def test_self_loops_ignored(self):
+        edges = np.array([[0, 0], [0, 1], [1, 2], [2, 0]])
+        assert triangle_count(edges, 3) == 1
+
+    def test_empty(self):
+        assert triangle_count(np.empty((0, 2), dtype=np.int64), 4) == 0
+
+    def test_matches_networkx(self, small_graph):
+        edges, n = small_graph
+        g = nx.Graph()
+        g.add_edges_from((int(a), int(b)) for a, b in edges if a != b)
+        expected = sum(nx.triangles(g).values()) // 3
+        assert triangle_count(edges, n) == expected
+
+
+class TestClusteringSampled:
+    def test_triangle_graph(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0]])
+        cc = clustering_coefficient_sampled(edges, 3, samples=500)
+        assert cc == 1.0
+
+    def test_star_graph(self):
+        edges = np.array([[0, i] for i in range(1, 8)])
+        cc = clustering_coefficient_sampled(edges, 8, samples=500)
+        assert cc == 0.0
+
+    def test_empty(self):
+        assert clustering_coefficient_sampled(
+            np.empty((0, 2), dtype=np.int64), 4) == 0.0
+
+    def test_close_to_networkx_transitivity(self, small_graph):
+        edges, n = small_graph
+        g = nx.Graph()
+        g.add_edges_from((int(a), int(b)) for a, b in edges if a != b)
+        expected = nx.transitivity(g)
+        got = clustering_coefficient_sampled(
+            edges, n, samples=8000, rng=np.random.default_rng(7))
+        assert abs(got - expected) < 0.04
+
+
+class TestPagerank:
+    def test_sums_to_one(self, small_graph):
+        edges, n = small_graph
+        pr = pagerank(edges, n)
+        assert abs(pr.sum() - 1.0) < 1e-9
+
+    def test_matches_networkx(self, small_graph):
+        edges, n = small_graph
+        pr = pagerank(edges, n, iterations=100)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(map(tuple, edges.tolist()))
+        nx_pr = nx.pagerank(g, alpha=0.85)
+        theirs = np.array([nx_pr[i] for i in range(n)])
+        assert np.abs(pr - theirs).max() < 1e-4
+
+    def test_dangling_nodes_handled(self):
+        edges = np.array([[0, 1]])   # vertex 1 dangles
+        pr = pagerank(edges, 3)
+        assert abs(pr.sum() - 1.0) < 1e-9
+        assert pr[1] > pr[2]          # 1 receives 0's vote
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ValueError):
+            pagerank(np.array([[0, 1]]), 2, damping=1.5)
+
+    def test_hub_ranks_high(self):
+        g = RecursiveVectorGenerator(10, 16, seed=2)
+        edges = g.edges()
+        pr = pagerank(edges, 1024)
+        in_deg = np.bincount(edges[:, 1], minlength=1024)
+        # PageRank's top vertex is among the top in-degree vertices.
+        assert in_deg[pr.argmax()] >= np.percentile(in_deg, 99)
+
+
+class TestEffectiveDiameter:
+    def test_chain(self):
+        from repro.analysis import effective_diameter
+        # Path graph of 11 vertices: distances 1..10 from the ends.
+        edges = np.array([[i, i + 1] for i in range(10)])
+        d = effective_diameter(edges, 11, percentile=0.9, samples=11)
+        assert 4 < d <= 10
+
+    def test_small_world_graph(self):
+        from repro.analysis import effective_diameter
+        g = RecursiveVectorGenerator(12, 16, seed=3)
+        d = effective_diameter(g.edges(), 4096, samples=16)
+        # Kronecker graphs have tiny effective diameters.
+        assert 1.0 < d < 6.0
+
+    def test_empty(self):
+        from repro.analysis import effective_diameter
+        assert effective_diameter(np.empty((0, 2), dtype=np.int64),
+                                  4) == 0.0
+
+    def test_rejects_bad_percentile(self):
+        from repro.analysis import effective_diameter
+        with pytest.raises(ValueError):
+            effective_diameter(np.array([[0, 1]]), 2, percentile=1.5)
+
+    def test_matches_exact_on_small_graph(self):
+        """Against exact all-pairs distances from networkx."""
+        from repro.analysis import effective_diameter
+        g = RecursiveVectorGenerator(8, 8, seed=4)
+        edges = g.edges()
+        und = nx.Graph()
+        und.add_edges_from((int(a), int(b)) for a, b in edges if a != b)
+        dists = []
+        for _, lengths in nx.all_pairs_shortest_path_length(und):
+            dists.extend(d for d in lengths.values() if d > 0)
+        exact = float(np.percentile(dists, 90))
+        sampled = effective_diameter(edges, 256, samples=256)
+        assert abs(sampled - exact) <= 1.0

@@ -1,0 +1,108 @@
+"""Tests for CSR construction and BFS kernels, cross-checked vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import RecursiveVectorGenerator
+from repro.analysis import (bfs_levels, bfs_parents, build_csr,
+                            reachable_count, symmetrize,
+                            validate_bfs_parents)
+
+
+class TestBuildCsr:
+    def test_basic(self):
+        edges = np.array([[1, 2], [0, 1], [1, 0]])
+        indptr, indices = build_csr(edges, 3)
+        assert indptr.tolist() == [0, 1, 3, 3]
+        assert indices[0] == 1               # row 0
+        assert sorted(indices[1:3].tolist()) == [0, 2]   # row 1
+
+    def test_rows_sorted(self):
+        edges = np.array([[0, 5], [0, 1], [0, 3]])
+        _, indices = build_csr(edges, 8)
+        assert indices.tolist() == [1, 3, 5]
+
+    def test_empty(self):
+        indptr, indices = build_csr(np.empty((0, 2), dtype=np.int64), 4)
+        assert indptr.tolist() == [0, 0, 0, 0, 0]
+        assert indices.size == 0
+
+
+class TestBfs:
+    def chain(self, n=6):
+        edges = np.array([[i, i + 1] for i in range(n - 1)])
+        return build_csr(edges, n), n
+
+    def test_chain_parents(self):
+        (indptr, indices), n = self.chain()
+        parent = bfs_parents(indptr, indices, 0, n)
+        assert parent.tolist() == [0, 0, 1, 2, 3, 4]
+
+    def test_chain_levels(self):
+        (indptr, indices), n = self.chain()
+        level = bfs_levels(indptr, indices, 0, n)
+        assert level.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable(self):
+        edges = np.array([[0, 1]])
+        indptr, indices = build_csr(edges, 4)
+        parent = bfs_parents(indptr, indices, 0, 4)
+        assert parent[2] == -1 and parent[3] == -1
+        assert reachable_count(parent) == 2
+
+    def test_isolated_root(self):
+        indptr, indices = build_csr(np.empty((0, 2), dtype=np.int64), 3)
+        parent = bfs_parents(indptr, indices, 1, 3)
+        assert reachable_count(parent) == 1
+        assert parent[1] == 1
+
+    def test_matches_networkx_on_generated_graph(self):
+        g = RecursiveVectorGenerator(10, 8, seed=3)
+        edges = symmetrize(g.edges(), 1024)
+        indptr, indices = build_csr(edges, 1024)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(1024))
+        nxg.add_edges_from(map(tuple, edges.tolist()))
+        for root in (0, 5, 100):
+            parent = bfs_parents(indptr, indices, root, 1024)
+            level = bfs_levels(indptr, indices, root, 1024)
+            nx_lengths = nx.single_source_shortest_path_length(nxg, root)
+            assert reachable_count(parent) == len(nx_lengths)
+            for v, d in nx_lengths.items():
+                assert level[v] == d
+
+    def test_validation_accepts_correct_parents(self):
+        g = RecursiveVectorGenerator(9, 8, seed=4)
+        edges = symmetrize(g.edges(), 512)
+        indptr, indices = build_csr(edges, 512)
+        parent = bfs_parents(indptr, indices, 0, 512)
+        assert validate_bfs_parents(parent, 0, indptr, indices)
+
+    def test_validation_rejects_corrupt_parents(self):
+        g = RecursiveVectorGenerator(9, 8, seed=4)
+        edges = symmetrize(g.edges(), 512)
+        indptr, indices = build_csr(edges, 512)
+        parent = bfs_parents(indptr, indices, 0, 512)
+        bad = parent.copy()
+        reached = np.nonzero(bad >= 0)[0]
+        victim = int(reached[-1])
+        if victim == 0:
+            pytest.skip("graph too small to corrupt")
+        # Point the victim's parent at a non-neighbour.
+        row = set(indices[indptr[victim]:indptr[victim + 1]].tolist())
+        non_neighbour = next(x for x in range(512)
+                             if x not in row and x != victim)
+        # Corrupt: claim victim's parent is someone with no edge to it.
+        row_of = set(indices[indptr[non_neighbour]:
+                             indptr[non_neighbour + 1]].tolist())
+        if victim in row_of:
+            pytest.skip("picked an actual neighbour")
+        bad[victim] = non_neighbour
+        assert not validate_bfs_parents(bad, 0, indptr, indices,
+                                        sample=10**9)
+
+    def test_validation_rejects_bad_root(self):
+        indptr, indices = build_csr(np.array([[0, 1]]), 2)
+        parent = np.array([1, 0])
+        assert not validate_bfs_parents(parent, 0, indptr, indices)

@@ -1,0 +1,60 @@
+"""Tests for the cluster hardware specifications."""
+
+import pytest
+
+from repro.cluster.hardware import (GIGABIT_ETHERNET, INFINIBAND_EDR,
+                                    PAPER_CLUSTER, PAPER_CLUSTER_IB,
+                                    PAPER_PC, SINGLE_PC, ClusterHardware,
+                                    MachineSpec, NetworkSpec)
+
+
+class TestSpecs:
+    def test_paper_pc_matches_section_7_1(self):
+        """'Each PC is equipped with a single six-core 3.50 GHz CPU,
+        32 GB memory, and 4 TB HDD.'"""
+        assert PAPER_PC.cores == 6
+        assert PAPER_PC.cpu_ghz == 3.5
+        assert PAPER_PC.memory_bytes == 32 * 1024**3
+        assert PAPER_PC.disk_bytes == 4 * 10**12
+
+    def test_networks(self):
+        assert GIGABIT_ETHERNET.bandwidth_bytes_per_sec == 125e6
+        assert INFINIBAND_EDR.bandwidth_bytes_per_sec == 12.5e9
+        # IB is the '100 times slower network' statement, inverted.
+        ratio = (INFINIBAND_EDR.bandwidth_bytes_per_sec
+                 / GIGABIT_ETHERNET.bandwidth_bytes_per_sec)
+        assert ratio == 100
+
+    def test_paper_cluster_shape(self):
+        """'a cluster of one master PC and ten slave PCs ... six threads
+        per PC, a total of 60 threads.'"""
+        assert PAPER_CLUSTER.machines == 10
+        assert PAPER_CLUSTER.threads_per_machine == 6
+        assert PAPER_CLUSTER.total_threads == 60
+
+    def test_aggregates(self):
+        assert PAPER_CLUSTER.total_memory_bytes == 10 * 32 * 1024**3
+        assert PAPER_CLUSTER.total_disk_bytes == 40 * 10**12
+        assert PAPER_CLUSTER.aggregate_disk_write == 10 * 110e6
+
+    def test_storage_capacity_statement(self):
+        """'the cluster has 35 TB storage capacity on HDFS' — raw is
+        40 TB, so the usable capacity claim fits under the raw total."""
+        assert PAPER_CLUSTER.total_disk_bytes >= 35 * 10**12
+
+    def test_with_network(self):
+        ib = PAPER_CLUSTER.with_network(INFINIBAND_EDR)
+        assert ib.network == INFINIBAND_EDR
+        assert ib.machines == PAPER_CLUSTER.machines
+        assert PAPER_CLUSTER_IB == ib
+
+    def test_single_pc(self):
+        assert SINGLE_PC.total_threads == 1
+        assert SINGLE_PC.machines == 1
+
+    def test_custom_cluster(self):
+        c = ClusterHardware(machines=3,
+                            machine=MachineSpec(cores=4),
+                            network=NetworkSpec("test", 1e9),
+                            threads_per_machine=2)
+        assert c.total_threads == 6

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bits import (bit_at, bits, bits_array, bits_of, ilog2,
+                             is_power_of_two, mask, ones_positions,
+                             reverse_bits)
+
+
+class TestBits:
+    def test_zero(self):
+        assert bits(0) == 0
+
+    def test_small_values(self):
+        assert bits(1) == 1
+        assert bits(2) == 1
+        assert bits(3) == 2
+        assert bits(255) == 8
+        assert bits(256) == 1
+
+    def test_large_value(self):
+        assert bits((1 << 63) - 1) == 63
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits(-1)
+
+    @given(st.integers(min_value=0, max_value=2**62))
+    def test_matches_bin_count(self, x):
+        assert bits(x) == bin(x).count("1")
+
+
+class TestBitsArray:
+    def test_matches_scalar(self):
+        xs = np.array([0, 1, 2, 3, 255, 2**40 + 1], dtype=np.uint64)
+        expected = [bits(int(x)) for x in xs]
+        assert bits_array(xs).tolist() == expected
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**62), min_size=1,
+                    max_size=50))
+    def test_property(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        assert bits_array(arr).tolist() == [bits(v) for v in values]
+
+
+class TestBitAt:
+    def test_examples(self):
+        # 0b1010
+        assert bit_at(10, 0) == 0
+        assert bit_at(10, 1) == 1
+        assert bit_at(10, 2) == 0
+        assert bit_at(10, 3) == 1
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(0, 40))
+    def test_reconstruction(self, x, width):
+        if x < (1 << width):
+            assert sum(bit_at(x, k) << k for k in range(width)) == x
+
+
+class TestBitsOf:
+    def test_msb_first(self):
+        assert bits_of(0b0101, 4) == (0, 1, 0, 1)
+
+    def test_padding(self):
+        assert bits_of(1, 4) == (0, 0, 0, 1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            bits_of(16, 4)
+
+
+class TestMaskAndPowers:
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(4) == 0b1111
+        assert mask(36) == 2**36 - 1
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_ilog2(self):
+        assert ilog2(1) == 0
+        assert ilog2(2**36) == 36
+        with pytest.raises(ValueError):
+            ilog2(3)
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestOnesPositions:
+    def test_examples(self):
+        assert ones_positions(0) == []
+        assert ones_positions(6) == [1, 2]
+        assert ones_positions(1 << 35) == [35]
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_roundtrip(self, x):
+        assert sum(1 << k for k in ones_positions(x)) == x
+
+
+class TestReverseBits:
+    def test_examples(self):
+        assert reverse_bits(0b0011, 4) == 0b1100
+        assert reverse_bits(1, 8) == 128
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_involution(self, x):
+        assert reverse_bits(reverse_bits(x, 20), 20) == x

@@ -1,0 +1,105 @@
+"""Tests for checkpointed (resumable) generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import RecursiveVectorGenerator
+from repro.dist.checkpoint import CheckpointedRun
+from repro.errors import ConfigurationError
+from repro.formats import get_format
+
+
+def make_generator(**kw):
+    defaults = dict(scale=10, edge_factor=8, seed=11, block_size=64)
+    defaults.update(kw)
+    scale = defaults.pop("scale")
+    ef = defaults.pop("edge_factor")
+    return RecursiveVectorGenerator(scale, ef, **defaults)
+
+
+def read_all(run):
+    fmt = get_format(run.fmt)
+    parts = [fmt.read_edges(p) for p in run.chunk_paths()]
+    parts = [p for p in parts if p.size]
+    return np.concatenate(parts) if parts else \
+        np.empty((0, 2), dtype=np.int64)
+
+
+class TestCheckpointedRun:
+    def test_complete_run_matches_direct_generation(self, tmp_path):
+        run = CheckpointedRun(make_generator(), tmp_path,
+                              blocks_per_chunk=4)
+        produced = run.run()
+        assert run.complete
+        assert produced == len(run.chunk_ranges())
+        np.testing.assert_array_equal(read_all(run),
+                                      make_generator().edges())
+
+    def test_interrupted_then_resumed(self, tmp_path):
+        """Partial run + fresh resume object == uninterrupted output."""
+        run1 = CheckpointedRun(make_generator(), tmp_path,
+                               blocks_per_chunk=2)
+        run1.run(max_chunks=3)
+        assert not run1.complete
+        assert len(run1.pending()) > 0
+
+        run2 = CheckpointedRun(make_generator(), tmp_path,
+                               blocks_per_chunk=2)
+        assert len(run2.state.completed) == 3     # manifest reloaded
+        run2.run()
+        assert run2.complete
+        np.testing.assert_array_equal(read_all(run2),
+                                      make_generator().edges())
+
+    def test_resume_regenerates_nothing_done(self, tmp_path):
+        run = CheckpointedRun(make_generator(), tmp_path,
+                              blocks_per_chunk=4)
+        run.run()
+        again = CheckpointedRun(make_generator(), tmp_path,
+                                blocks_per_chunk=4)
+        assert again.run() == 0      # nothing pending
+
+    def test_partial_file_not_counted(self, tmp_path):
+        """A .partial file (crash mid-chunk) is not in the manifest and
+        gets regenerated."""
+        run = CheckpointedRun(make_generator(), tmp_path,
+                              blocks_per_chunk=4)
+        run.run(max_chunks=1)
+        # Simulate a crash leaving a partial file for the next chunk.
+        junk = tmp_path / (run.pending()[0][0] + ".partial")
+        junk.write_bytes(b"garbage")
+        resumed = CheckpointedRun(make_generator(), tmp_path,
+                                  blocks_per_chunk=4)
+        resumed.run()
+        assert resumed.complete
+        np.testing.assert_array_equal(read_all(resumed),
+                                      make_generator().edges())
+
+    def test_mismatched_config_rejected(self, tmp_path):
+        CheckpointedRun(make_generator(), tmp_path,
+                        blocks_per_chunk=4).run(max_chunks=1)
+        with pytest.raises(ConfigurationError):
+            CheckpointedRun(make_generator(seed=99), tmp_path,
+                            blocks_per_chunk=4)
+        with pytest.raises(ConfigurationError):
+            CheckpointedRun(make_generator(), tmp_path,
+                            blocks_per_chunk=8)
+
+    def test_edge_count_tracked(self, tmp_path):
+        run = CheckpointedRun(make_generator(), tmp_path,
+                              blocks_per_chunk=4)
+        run.run()
+        assert run.num_edges == make_generator().edges().shape[0]
+
+    def test_rejects_bad_chunk_size(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointedRun(make_generator(), tmp_path,
+                            blocks_per_chunk=0)
+
+    def test_csr6_chunks(self, tmp_path):
+        run = CheckpointedRun(make_generator(scale=9), tmp_path,
+                              fmt="csr6", blocks_per_chunk=2)
+        run.run()
+        assert run.complete
+        total = read_all(run)
+        assert total.shape[0] == run.num_edges

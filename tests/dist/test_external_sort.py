@@ -1,0 +1,100 @@
+"""Tests for the external sort / merge-dedup substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dist.external_sort import (external_sort_unique,
+                                      merge_sorted_runs, write_run)
+
+
+def make_runs(tmp_path, arrays):
+    paths = []
+    for i, arr in enumerate(arrays):
+        paths.append(write_run(np.sort(np.asarray(arr, dtype=np.int64)),
+                               tmp_path / f"run{i}.bin"))
+    return paths
+
+
+class TestExternalSortUnique:
+    def test_single_run(self, tmp_path):
+        paths = make_runs(tmp_path, [[3, 1, 2]])
+        out = external_sort_unique(paths)
+        assert out.tolist() == [1, 2, 3]
+
+    def test_merges_and_dedups(self, tmp_path):
+        paths = make_runs(tmp_path, [[1, 3, 5], [2, 3, 4], [5, 6]])
+        out = external_sort_unique(paths)
+        assert out.tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_duplicates_within_run(self, tmp_path):
+        paths = make_runs(tmp_path, [[1, 1, 1, 2], [2, 2, 3]])
+        out = external_sort_unique(paths)
+        assert out.tolist() == [1, 2, 3]
+
+    def test_empty_inputs(self, tmp_path):
+        assert external_sort_unique([]).size == 0
+        paths = make_runs(tmp_path, [[]])
+        assert external_sort_unique(paths).size == 0
+
+    def test_small_chunks_stress(self, tmp_path):
+        """Chunk boundaries must not lose or duplicate keys."""
+        rng = np.random.default_rng(0)
+        arrays = [rng.integers(0, 500, size=400) for _ in range(5)]
+        paths = make_runs(tmp_path, arrays)
+        expected = np.unique(np.concatenate(arrays))
+        for chunk in (1, 2, 3, 7, 64, 10000):
+            out = external_sort_unique(paths, chunk_items=chunk)
+            np.testing.assert_array_equal(out, expected)
+
+    def test_disjoint_runs(self, tmp_path):
+        paths = make_runs(tmp_path, [np.arange(0, 100),
+                                     np.arange(100, 200)])
+        out = external_sort_unique(paths, chunk_items=16)
+        np.testing.assert_array_equal(out, np.arange(200))
+
+    def test_identical_runs(self, tmp_path):
+        paths = make_runs(tmp_path, [np.arange(50)] * 4)
+        out = external_sort_unique(paths, chunk_items=8)
+        np.testing.assert_array_equal(out, np.arange(50))
+
+    def test_negative_and_large_keys(self, tmp_path):
+        paths = make_runs(tmp_path, [[-5, 0, 2**50], [-5, 7]])
+        out = external_sort_unique(paths)
+        assert out.tolist() == [-5, 0, 7, 2**50]
+
+
+class TestMergeSortedRuns:
+    def test_streaming_chunks_are_sorted_and_disjoint(self, tmp_path):
+        rng = np.random.default_rng(1)
+        arrays = [rng.integers(0, 1000, size=300) for _ in range(4)]
+        paths = make_runs(tmp_path, arrays)
+        last = None
+        seen = []
+        for chunk in merge_sorted_runs(paths, chunk_items=32):
+            assert np.all(np.diff(chunk) > 0)
+            if last is not None:
+                assert chunk[0] > last
+            last = int(chunk[-1])
+            seen.append(chunk)
+        np.testing.assert_array_equal(
+            np.concatenate(seen), np.unique(np.concatenate(arrays)))
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.lists(st.lists(st.integers(-100, 100), max_size=60),
+                min_size=1, max_size=6),
+       st.integers(min_value=1, max_value=64))
+def test_external_sort_property(tmp_path, arrays, chunk):
+    """external_sort_unique == np.unique of the concatenation, always."""
+    import uuid
+    sub = tmp_path / uuid.uuid4().hex
+    sub.mkdir()
+    paths = make_runs(sub, arrays)
+    flat = [x for arr in arrays for x in arr]
+    expected = np.unique(np.array(flat, dtype=np.int64)) if flat \
+        else np.empty(0, dtype=np.int64)
+    out = external_sort_unique(paths, chunk_items=chunk)
+    np.testing.assert_array_equal(out, expected)

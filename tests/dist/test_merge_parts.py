@@ -1,0 +1,48 @@
+"""Tests for merging distributed part files."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import RecursiveVectorGenerator
+from repro.dist import ClusterSpec, LocalCluster, merge_parts
+from repro.errors import FormatError
+from repro.formats import get_format
+
+
+@pytest.fixture()
+def distributed(tmp_path):
+    g = RecursiveVectorGenerator(11, 8, seed=21, block_size=128)
+    cluster = LocalCluster(ClusterSpec(machines=2, threads_per_machine=2))
+    result = cluster.generate_to_files(g, tmp_path / "parts", "adj6",
+                                       processes=1)
+    return g, result
+
+
+class TestMergeParts:
+    def test_merged_equals_sequential(self, distributed, tmp_path):
+        g, result = distributed
+        merged = merge_parts(result.paths, g.num_vertices,
+                             tmp_path / "full.adj6")
+        assert merged.num_edges == result.num_edges
+        edges = get_format("adj6").read_edges(merged.path)
+        seq = RecursiveVectorGenerator(11, 8, seed=21,
+                                       block_size=128).edges()
+        np.testing.assert_array_equal(edges, seq)
+
+    def test_cross_format_merge(self, distributed, tmp_path):
+        """ADJ6 parts merged into a single CSR6 file."""
+        g, result = distributed
+        merged = merge_parts(result.paths, g.num_vertices,
+                             tmp_path / "full.csr6", out_format="csr6")
+        indptr, indices = get_format("csr6").read_csr(merged.path)
+        assert indptr[-1] == result.num_edges
+
+    def test_rejects_out_of_order_parts(self, distributed, tmp_path):
+        g, result = distributed
+        with pytest.raises(FormatError):
+            merge_parts(list(reversed(result.paths)), g.num_vertices,
+                        tmp_path / "bad.adj6")
+
+    def test_rejects_empty_list(self, tmp_path):
+        with pytest.raises(ValueError):
+            merge_parts([], 16, tmp_path / "x.adj6")

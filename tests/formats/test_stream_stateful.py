@@ -1,0 +1,70 @@
+"""Stateful property test: any legal StreamWriter interaction sequence
+produces a file whose contents read back exactly as written."""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+from hypothesis import strategies as st
+
+from repro.formats import get_format
+
+NUM_VERTICES = 64
+
+
+class StreamWriterMachine(RuleBasedStateMachine):
+    """Drives all three writers in lockstep with a model dict."""
+
+    @initialize(fmt_names=st.just(("tsv", "adj6", "csr6")))
+    def setup(self, fmt_names):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.writers = {}
+        for name in fmt_names:
+            path = Path(self.tmp.name) / f"m.{name}"
+            self.writers[name] = get_format(name).open_writer(
+                path, NUM_VERTICES)
+        self.model: dict[int, list[int]] = {}
+        self.next_vertex = 0
+        self.closed = False
+
+    @rule(gap=st.integers(min_value=0, max_value=5),
+          neighbours=st.lists(st.integers(0, NUM_VERTICES - 1),
+                              max_size=6, unique=True))
+    def add_vertex(self, gap, neighbours):
+        if self.next_vertex >= NUM_VERTICES:
+            return   # vertex space exhausted; sequence simply ends
+        vertex = min(self.next_vertex + gap, NUM_VERTICES - 1)
+        vs = np.array(sorted(neighbours), dtype=np.int64)
+        for writer in self.writers.values():
+            writer.add(vertex, vs)
+        if len(vs):
+            self.model[vertex] = vs.tolist()
+        self.next_vertex = vertex + 1
+
+    @invariant()
+    def edge_counts_agree(self):
+        if getattr(self, "closed", True):
+            return
+        counts = {w.num_edges for w in self.writers.values()}
+        assert len(counts) == 1
+
+    def teardown(self):
+        if not getattr(self, "writers", None):
+            return
+        results = {name: w.close() for name, w in self.writers.items()}
+        expected_edges = sum(len(v) for v in self.model.values())
+        for name, result in results.items():
+            assert result.num_edges == expected_edges
+            read_back = {}
+            for u, vs in get_format(name).iter_adjacency(result.path):
+                read_back[u] = vs.tolist()
+            assert read_back == self.model, name
+        self.tmp.cleanup()
+
+
+TestStreamWriterStateful = StreamWriterMachine.TestCase
+TestStreamWriterStateful.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None)

@@ -1,0 +1,69 @@
+"""Memory-budget behaviour across every model — the O.O.M mechanics of
+Figures 11 and 14 as a test matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.models import (ALL_MODELS, FastKroneckerGenerator,
+                          Graph500Generator, RmatDiskGenerator,
+                          RmatMemGenerator, TrillionGSeqGenerator,
+                          WespDiskGenerator, WespMemGenerator)
+
+TIGHT = 64 * 1024          # "32 GB" scaled down
+SCALE = 12
+
+#: Which models must die under a tight budget at this scale (their
+#: working set is O(|E|)), and which must survive (scope/batch bounded).
+MUST_OOM = [RmatMemGenerator, FastKroneckerGenerator, Graph500Generator,
+            WespMemGenerator]
+MUST_SURVIVE = [
+    (RmatDiskGenerator, {"batch_edges": 2048}),
+    (WespDiskGenerator, {"batch_edges": 2048}),
+    (TrillionGSeqGenerator, {"block_size": 64}),
+]
+
+
+@pytest.mark.parametrize("cls", MUST_OOM, ids=lambda c: c.name)
+def test_in_memory_models_oom(cls):
+    g = cls(SCALE, 16, seed=1, memory_budget=TIGHT)
+    with pytest.raises(OutOfMemoryError) as info:
+        g.generate()
+    assert info.value.required_bytes > TIGHT
+
+
+@pytest.mark.parametrize("cls,kwargs", MUST_SURVIVE,
+                         ids=lambda x: getattr(x, "name", ""))
+def test_bounded_models_survive(cls, kwargs):
+    g = cls(SCALE, 16, seed=1, memory_budget=TIGHT, **kwargs)
+    edges = g.generate()
+    assert edges.shape[0] > 10000
+
+
+@pytest.mark.parametrize("cls", MUST_OOM, ids=lambda c: c.name)
+def test_oom_scale_threshold_monotone(cls):
+    """If a model fits at scale s, it fits at s-1; the OOM wall is a
+    single threshold, as the figures draw it."""
+    budget = 512 * 1024
+    outcomes = []
+    for scale in (8, 10, 12, 14):
+        try:
+            cls(scale, 16, seed=1, memory_budget=budget).generate()
+            outcomes.append(True)
+        except OutOfMemoryError:
+            outcomes.append(False)
+    # Once False, never True again.
+    seen_false = False
+    for ok in outcomes:
+        if not ok:
+            seen_false = True
+        assert not (seen_false and ok), outcomes
+
+
+def test_budget_error_reports_requirements():
+    g = RmatMemGenerator(14, 16, memory_budget=1)
+    with pytest.raises(OutOfMemoryError) as info:
+        g.generate()
+    message = str(info.value)
+    assert "GiB" in message
+    assert info.value.budget_bytes == 1

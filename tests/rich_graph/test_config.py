@@ -1,0 +1,125 @@
+"""Tests for gMark-style graph configurations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rich_graph.config import (EdgeRule, GraphConfig, NodeType,
+                                     Predicate, bibliographical_config)
+from repro.rich_graph.distributions import Gaussian, Uniform, Zipfian
+
+
+def minimal_config(**overrides):
+    kwargs = dict(
+        num_vertices=1000,
+        num_edges=5000,
+        node_types=[NodeType("a", 0.6), NodeType("b", 0.4)],
+        predicates=[Predicate("links", 1.0)],
+        rules=[EdgeRule("a", "links", "b", Zipfian(-1.5), Gaussian())],
+    )
+    kwargs.update(overrides)
+    return GraphConfig(**kwargs)
+
+
+class TestValidation:
+    def test_valid_config(self):
+        cfg = minimal_config()
+        assert cfg.num_vertices == 1000
+
+    def test_type_ratios_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            minimal_config(node_types=[NodeType("a", 0.5),
+                                       NodeType("b", 0.3)])
+
+    def test_predicate_ratios_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            minimal_config(predicates=[Predicate("links", 0.5)])
+
+    def test_unknown_source_type(self):
+        with pytest.raises(ConfigurationError):
+            minimal_config(rules=[EdgeRule("zzz", "links", "b",
+                                           Zipfian(-1.5), Gaussian())])
+
+    def test_unknown_predicate(self):
+        with pytest.raises(ConfigurationError):
+            minimal_config(rules=[EdgeRule("a", "cites", "b",
+                                           Zipfian(-1.5), Gaussian())])
+
+    def test_predicate_without_rule(self):
+        with pytest.raises(ConfigurationError):
+            minimal_config(predicates=[Predicate("links", 0.5),
+                                       Predicate("orphan", 0.5)])
+
+    def test_duplicate_type_names(self):
+        with pytest.raises(ConfigurationError):
+            minimal_config(node_types=[NodeType("a", 0.5),
+                                       NodeType("a", 0.5)])
+
+    def test_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            NodeType("x", 1.5)
+        with pytest.raises(ConfigurationError):
+            Predicate("p", 0.0)
+
+
+class TestRanges:
+    def test_vertex_ranges_partition_space(self):
+        cfg = bibliographical_config(10000)
+        ranges = [cfg.vertex_range(t.name) for t in cfg.node_types]
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 10000
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+
+    def test_last_type_absorbs_remainder(self):
+        cfg = minimal_config(num_vertices=1001)
+        assert cfg.vertex_range("b")[1] == 1001
+
+    def test_type_of_vertex(self):
+        cfg = minimal_config()
+        assert cfg.type_of_vertex(0) == "a"
+        assert cfg.type_of_vertex(599) == "a"
+        assert cfg.type_of_vertex(600) == "b"
+        with pytest.raises(ConfigurationError):
+            cfg.type_of_vertex(5000)
+
+    def test_unknown_type_range(self):
+        with pytest.raises(ConfigurationError):
+            minimal_config().vertex_range("nope")
+
+
+class TestBudgets:
+    def test_rule_edge_budget_splits_predicate(self):
+        cfg = GraphConfig(
+            num_vertices=1000, num_edges=1000,
+            node_types=[NodeType("a", 0.5), NodeType("b", 0.5)],
+            predicates=[Predicate("p", 1.0)],
+            rules=[
+                EdgeRule("a", "p", "b", Gaussian(), Gaussian()),
+                EdgeRule("b", "p", "a", Gaussian(), Gaussian()),
+            ])
+        for rule in cfg.rules:
+            assert cfg.rule_edge_budget(rule) == 500
+
+    def test_predicate_ids_stable(self):
+        cfg = bibliographical_config()
+        assert cfg.predicate_id("author") == 0
+        assert cfg.predicate_id("publishedIn") == 1
+        assert cfg.predicate_id("presentedIn") == 2
+
+
+class TestBibliographical:
+    def test_matches_figure7(self):
+        cfg = bibliographical_config()
+        names = {t.name: t.ratio for t in cfg.node_types}
+        assert names == {"researcher": 0.5, "paper": 0.3,
+                         "journal": 0.1, "conference": 0.1}
+        author = cfg.rules[0]
+        assert author.source == "researcher"
+        assert author.target == "paper"
+        assert isinstance(author.out_distribution, Zipfian)
+        assert isinstance(author.in_distribution, Gaussian)
+        assert cfg.predicate_ratio("author") == 0.5
+
+    def test_default_edges(self):
+        cfg = bibliographical_config(2048)
+        assert cfg.num_edges == 2048 * 8

@@ -1,0 +1,84 @@
+"""Tests for ERV degree-distribution specs and Lemma 6 inversion."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rich_graph.distributions import (Gaussian, Uniform, Zipfian,
+                                            parse_distribution,
+                                            seed_for_in_slope,
+                                            seed_for_out_slope)
+
+
+class TestSpecs:
+    def test_zipfian_default_slope(self):
+        assert Zipfian().slope == -1.662
+
+    def test_zipfian_rejects_positive(self):
+        with pytest.raises(ConfigurationError):
+            Zipfian(0.5)
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(5, 2)
+        with pytest.raises(ConfigurationError):
+            Uniform(-1, 2)
+
+    def test_kinds(self):
+        assert Zipfian().kind == "zipfian"
+        assert Gaussian().kind == "gaussian"
+        assert Uniform().kind == "uniform"
+
+
+class TestSeedInversion:
+    def test_out_slope_roundtrip(self):
+        for slope in (-0.5, -1.0, -1.662, -2.5):
+            k = seed_for_out_slope(slope)
+            assert math.isclose(k.out_zipf_slope(), slope, abs_tol=1e-9)
+
+    def test_in_slope_roundtrip(self):
+        for slope in (-0.5, -1.662, -3.0):
+            k = seed_for_in_slope(slope)
+            assert math.isclose(k.in_zipf_slope(), slope, abs_tol=1e-9)
+
+    def test_graph500_slope_reproduced(self):
+        """The paper: the Graph500 seed matches Zipf slope -1.662."""
+        k = seed_for_out_slope(-1.662)
+        # Same row sums as Graph500 (0.76 / 0.24), up to rounding.
+        assert math.isclose(float(k.row_sums()[0]), 0.76, abs_tol=1e-3)
+
+    def test_rejects_positive_slope(self):
+        with pytest.raises(ConfigurationError):
+            seed_for_out_slope(1.0)
+        with pytest.raises(ConfigurationError):
+            seed_for_in_slope(0.0)
+
+    @given(st.floats(min_value=-4.0, max_value=-0.05))
+    def test_inversion_property(self, slope):
+        assert math.isclose(seed_for_out_slope(slope).out_zipf_slope(),
+                            slope, abs_tol=1e-9)
+        assert math.isclose(seed_for_in_slope(slope).in_zipf_slope(),
+                            slope, abs_tol=1e-9)
+
+
+class TestParse:
+    def test_zipfian_with_slope(self):
+        d = parse_distribution("zipfian:-2.0")
+        assert isinstance(d, Zipfian) and d.slope == -2.0
+
+    def test_zipfian_default(self):
+        assert parse_distribution("ZIPFIAN").slope == -1.662
+
+    def test_gaussian(self):
+        assert isinstance(parse_distribution("gaussian"), Gaussian)
+
+    def test_uniform(self):
+        d = parse_distribution("uniform:2:9")
+        assert (d.low, d.high) == (2, 9)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            parse_distribution("pareto")

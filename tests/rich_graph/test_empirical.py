@@ -1,0 +1,114 @@
+"""Tests for the Empirical (data-dictionary) degree distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rich_graph import Empirical, ErvGenerator, Gaussian
+
+
+class TestEmpiricalSpec:
+    def test_basic(self):
+        d = Empirical([1, 5], [3, 1])
+        assert d.kind == "empirical"
+        assert abs(d.mean - 2.0) < 1e-12
+
+    def test_from_degree_sequence(self):
+        d = Empirical.from_degree_sequence(np.array([2, 2, 2, 7]))
+        assert d.degrees.tolist() == [2, 7]
+        assert d.weights.tolist() == [3, 1]
+
+    def test_equality(self):
+        assert Empirical([1, 2], [1, 1]) == Empirical([1, 2], [1, 1])
+        assert Empirical([1, 2], [1, 1]) != Empirical([1, 3], [1, 1])
+
+    def test_repr(self):
+        assert "2 degree values" in repr(Empirical([1, 2], [1, 1]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Empirical([], [])
+        with pytest.raises(ConfigurationError):
+            Empirical([1, 2], [1])
+        with pytest.raises(ConfigurationError):
+            Empirical([-1], [1])
+        with pytest.raises(ConfigurationError):
+            Empirical([1], [-1])
+        with pytest.raises(ConfigurationError):
+            Empirical([1, 2], [0, 0])
+
+
+class TestEmpiricalOutDegrees:
+    def test_only_dictionary_values_drawn(self):
+        d = Empirical([3, 8, 20], [1, 1, 1])
+        g = ErvGenerator(5000, 5000, 0, d, Gaussian(), seed=1)
+        degrees = g.out_degrees()
+        assert set(degrees.tolist()) <= {3, 8, 20}
+
+    def test_frequencies_respected(self):
+        d = Empirical([1, 9], [9, 1])   # 90% degree 1, 10% degree 9
+        g = ErvGenerator(20000, 20000, 0, d, Gaussian(), seed=2)
+        degrees = g.out_degrees()
+        frac_nine = (degrees == 9).mean()
+        assert abs(frac_nine - 0.1) < 0.01
+
+    def test_mean_matches_dictionary(self):
+        d = Empirical([2, 4, 6], [1, 2, 1])
+        g = ErvGenerator(30000, 30000, 0, d, Gaussian(), seed=3)
+        assert abs(g.out_degrees().mean() - d.mean) < 0.1
+
+
+class TestEmpiricalInDegrees:
+    def test_popularity_skew_transfers(self):
+        """A bimodal popularity dictionary produces a correspondingly
+        skewed in-degree distribution."""
+        skewed = Empirical([1, 100], [99, 1])   # 1% of dests are hubs
+        g = ErvGenerator(4000, 4000, 60000, Gaussian(), skewed, seed=4)
+        in_deg = np.bincount(g.edges()[:, 1], minlength=4000)
+        # Top 1% of destinations should carry roughly half the edges
+        # (popularity 100 * 1% vs 1 * 99%).
+        top = np.sort(in_deg)[::-1][:40].sum()
+        assert top > 0.3 * in_deg.sum()
+
+    def test_uniform_dictionary_is_flat(self):
+        flat = Empirical([5], [1])
+        g = ErvGenerator(4000, 4000, 60000, Gaussian(), flat, seed=5)
+        in_deg = np.bincount(g.edges()[:, 1], minlength=4000)
+        # All destinations equally popular -> binomial in-degrees.
+        assert in_deg.std() < 3 * np.sqrt(in_deg.mean())
+
+    def test_deterministic(self):
+        d = Empirical([1, 10], [1, 1])
+        a = ErvGenerator(500, 500, 3000, Gaussian(), d, seed=6).edges()
+        b = ErvGenerator(500, 500, 3000, Gaussian(), d, seed=6).edges()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRoundTripWorkflow:
+    def test_learn_from_graph_and_regenerate(self):
+        """The LDBC-style loop: measure a graph's degree dictionary,
+        regenerate from it, get the same mean degree back."""
+        from repro import RecursiveVectorGenerator
+        source = RecursiveVectorGenerator(11, 8, seed=7).edges()
+        observed = np.bincount(source[:, 0], minlength=2048)
+        d = Empirical.from_degree_sequence(observed)
+        g = ErvGenerator(2048, 2048, 0, d, Gaussian(), seed=8)
+        regenerated = g.out_degrees()
+        # Tolerance ~3 standard errors: the dictionary is heavy-tailed,
+        # so the mean of 2048 draws has SE ~ std/sqrt(2048) ~ 0.55.
+        standard_error = observed.std() / np.sqrt(observed.size)
+        assert abs(regenerated.mean() - observed.mean()) \
+            < 3 * standard_error
+
+
+@settings(max_examples=25)
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 20)),
+                min_size=1, max_size=8, unique_by=lambda t: t[0]))
+def test_empirical_mean_property(table):
+    degrees = [t[0] for t in table]
+    weights = [t[1] for t in table]
+    d = Empirical(degrees, weights)
+    expected = sum(a * w for a, w in table) / sum(weights)
+    assert abs(d.mean - expected) < 1e-9

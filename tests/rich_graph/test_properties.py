@@ -1,0 +1,96 @@
+"""Tests for per-edge property generation."""
+
+import numpy as np
+import pytest
+
+from repro import RecursiveVectorGenerator
+from repro.errors import ConfigurationError
+from repro.rich_graph.properties import (CategoricalProperty,
+                                         ExponentialProperty,
+                                         NormalProperty, PropertyTable,
+                                         UniformProperty,
+                                         attach_properties)
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return RecursiveVectorGenerator(11, 8, seed=1).edges()
+
+
+class TestSpecs:
+    def test_uniform_range(self, edges):
+        vals = UniformProperty(10.0, 20.0).sample(edges, 0)
+        assert vals.min() >= 10.0 and vals.max() < 20.0
+        assert abs(vals.mean() - 15.0) < 0.2
+
+    def test_normal_moments(self, edges):
+        vals = NormalProperty(5.0, 2.0).sample(edges, 0)
+        assert abs(vals.mean() - 5.0) < 0.1
+        assert abs(vals.std() - 2.0) < 0.1
+
+    def test_exponential_mean(self, edges):
+        vals = ExponentialProperty(rate=0.5).sample(edges, 0)
+        assert vals.min() >= 0
+        assert abs(vals.mean() - 2.0) < 0.15
+
+    def test_categorical_frequencies(self, edges):
+        vals = CategoricalProperty((3, 1)).sample(edges, 0)
+        assert set(np.unique(vals)) <= {0, 1}
+        assert abs((vals == 0).mean() - 0.75) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformProperty(5, 5)
+        with pytest.raises(ConfigurationError):
+            NormalProperty(0, 0)
+        with pytest.raises(ConfigurationError):
+            ExponentialProperty(0)
+        with pytest.raises(ConfigurationError):
+            CategoricalProperty(())
+        with pytest.raises(ConfigurationError):
+            CategoricalProperty((0, 0))
+
+
+class TestDeterminism:
+    def test_same_edge_same_value(self, edges):
+        """The core contract: properties are a pure function of the edge,
+        independent of array order."""
+        table1 = attach_properties(edges, {"w": UniformProperty()}, seed=3)
+        shuffled = edges[::-1].copy()
+        table2 = attach_properties(shuffled, {"w": UniformProperty()},
+                                   seed=3)
+        np.testing.assert_array_equal(table1.columns["w"],
+                                      table2.columns["w"][::-1])
+
+    def test_seed_changes_values(self, edges):
+        a = attach_properties(edges, {"w": UniformProperty()}, seed=1)
+        b = attach_properties(edges, {"w": UniformProperty()}, seed=2)
+        assert not np.array_equal(a.columns["w"], b.columns["w"])
+
+    def test_properties_independent_of_each_other(self, edges):
+        table = attach_properties(
+            edges, {"a": UniformProperty(), "b": UniformProperty()},
+            seed=1)
+        corr = np.corrcoef(table.columns["a"], table.columns["b"])[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_distinct_edges_distinct_values_mostly(self, edges):
+        table = attach_properties(edges, {"w": UniformProperty()}, seed=4)
+        unique_fraction = (np.unique(table.columns["w"]).size
+                           / edges.shape[0])
+        assert unique_fraction > 0.999
+
+
+class TestTable:
+    def test_records(self):
+        edges = np.array([[1, 2], [3, 4]])
+        table = attach_properties(
+            edges, {"ts": UniformProperty(0, 100),
+                    "kind": CategoricalProperty((1, 1))}, seed=5)
+        records = table.as_records(edges)
+        assert len(records) == 2
+        assert set(records[0]) == {"source", "destination", "ts", "kind"}
+
+    def test_rejects_empty_specs(self):
+        with pytest.raises(ConfigurationError):
+            attach_properties(np.array([[0, 1]]), {})

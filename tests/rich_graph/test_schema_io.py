@@ -1,0 +1,80 @@
+"""Tests for JSON graph-configuration I/O."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rich_graph import (Empirical, Gaussian, RichGraphGenerator,
+                              Uniform, Zipfian, bibliographical_config,
+                              config_from_dict, config_to_dict,
+                              load_config, save_config)
+
+
+class TestRoundTrip:
+    def test_bibliographical_roundtrip(self, tmp_path):
+        cfg = bibliographical_config(4096)
+        path = save_config(cfg, tmp_path / "bib.json")
+        back = load_config(path)
+        assert back.num_vertices == cfg.num_vertices
+        assert back.num_edges == cfg.num_edges
+        assert [t.name for t in back.node_types] == \
+            [t.name for t in cfg.node_types]
+        for a, b in zip(back.rules, cfg.rules):
+            assert a.out_distribution == b.out_distribution
+            assert a.in_distribution == b.in_distribution
+
+    def test_all_distribution_kinds_roundtrip(self):
+        for dist in (Zipfian(-1.4), Gaussian(), Uniform(2, 7),
+                     Empirical([1, 5], [2, 1])):
+            from repro.rich_graph.schema_io import (
+                _distribution_from_dict, _distribution_to_dict)
+            assert _distribution_from_dict(
+                _distribution_to_dict(dist)) == dist
+
+    def test_generation_from_loaded_config(self, tmp_path):
+        cfg = bibliographical_config(2048)
+        path = save_config(cfg, tmp_path / "g.json")
+        loaded = load_config(path)
+        a = RichGraphGenerator(cfg, seed=1).all_triples()
+        b = RichGraphGenerator(loaded, seed=1).all_triples()
+        import numpy as np
+        np.testing.assert_array_equal(a, b)
+
+    def test_json_is_readable(self, tmp_path):
+        path = save_config(bibliographical_config(1024),
+                           tmp_path / "r.json")
+        doc = json.loads(path.read_text())
+        assert doc["num_vertices"] == 1024
+        assert doc["rules"][0]["out_distribution"]["kind"] == "zipfian"
+
+
+class TestErrors:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_config(path)
+
+    def test_missing_field(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"num_vertices": 10})
+
+    def test_unknown_distribution_kind(self):
+        doc = config_to_dict(bibliographical_config(1024))
+        doc["rules"][0]["out_distribution"] = {"kind": "pareto"}
+        with pytest.raises(ConfigurationError):
+            config_from_dict(doc)
+
+    def test_distribution_missing_kind(self):
+        doc = config_to_dict(bibliographical_config(1024))
+        doc["rules"][0]["out_distribution"] = {"slope": -1}
+        with pytest.raises(ConfigurationError):
+            config_from_dict(doc)
+
+    def test_invalid_config_still_validated(self):
+        """Loaded documents pass through GraphConfig validation."""
+        doc = config_to_dict(bibliographical_config(1024))
+        doc["node_types"][0]["ratio"] = 0.9     # ratios no longer sum to 1
+        with pytest.raises(ConfigurationError):
+            config_from_dict(doc)

@@ -1,0 +1,98 @@
+"""Tests for the built-in rich-graph schemas."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_gaussian, fit_kronecker_class_slope
+from repro.errors import ConfigurationError
+from repro.rich_graph import (BUILTIN_SCHEMAS, RichGraphGenerator,
+                              builtin_schema, snb_config, sp2bench_config,
+                              watdiv_config)
+
+
+class TestRegistry:
+    def test_four_schemas(self):
+        """gMark's four built-in schemas (Section 8)."""
+        assert set(BUILTIN_SCHEMAS) == {"bibliographical", "watdiv",
+                                        "snb", "sp2bench"}
+
+    def test_lookup_case_insensitive(self):
+        assert builtin_schema("WatDiv", 1024).num_vertices == 1024
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            builtin_schema("tpc-h")
+
+
+@pytest.mark.parametrize("name", sorted(BUILTIN_SCHEMAS))
+class TestAllSchemasGenerate:
+    def test_valid_and_generates(self, name):
+        cfg = builtin_schema(name, 1 << 12)
+        typed = RichGraphGenerator(cfg, seed=3).generate()
+        assert len(typed) == len(cfg.rules)
+        for t in typed:
+            src_lo, src_hi = cfg.vertex_range(t.rule.source)
+            dst_lo, dst_hi = cfg.vertex_range(t.rule.target)
+            if t.num_edges:
+                assert t.edges[:, 0].min() >= src_lo
+                assert t.edges[:, 0].max() < src_hi
+                assert t.edges[:, 1].min() >= dst_lo
+                assert t.edges[:, 1].max() < dst_hi
+
+    def test_deterministic(self, name):
+        cfg = builtin_schema(name, 1 << 10)
+        a = RichGraphGenerator(cfg, seed=4).all_triples()
+        b = RichGraphGenerator(cfg, seed=4).all_triples()
+        np.testing.assert_array_equal(a, b)
+
+    def test_json_roundtrip(self, name, tmp_path):
+        from repro.rich_graph import load_config, save_config
+        cfg = builtin_schema(name, 1 << 10)
+        path = save_config(cfg, tmp_path / f"{name}.json")
+        back = load_config(path)
+        assert back.num_edges == cfg.num_edges
+        assert len(back.rules) == len(cfg.rules)
+
+
+class TestSchemaSemantics:
+    def test_watdiv_product_reviews_skewed(self):
+        """Popular products gather most reviews (Zipfian in-degree)."""
+        cfg = watdiv_config(1 << 13)
+        typed = RichGraphGenerator(cfg, seed=5).generate()
+        reviews = typed[0]
+        dst_lo, dst_hi = cfg.vertex_range("product")
+        in_deg = np.bincount(reviews.edges[:, 1] - dst_lo,
+                             minlength=dst_hi - dst_lo)
+        top_share = np.sort(in_deg)[::-1][:len(in_deg) // 100].sum() \
+            / max(in_deg.sum(), 1)
+        assert top_share > 0.05   # top 1% of products >5% of reviews
+
+    def test_snb_knows_power_law_both_sides(self):
+        cfg = snb_config(1 << 13)
+        typed = RichGraphGenerator(cfg, seed=6).generate()
+        knows = typed[0]
+        lo, hi = cfg.vertex_range("person")
+        out_deg = np.bincount(knows.edges[:, 0] - lo, minlength=hi - lo)
+        in_deg = np.bincount(knows.edges[:, 1] - lo, minlength=hi - lo)
+        assert abs(fit_kronecker_class_slope(out_deg) + 1.5) < 0.4
+        assert not fit_gaussian(out_deg).looks_gaussian
+        assert not fit_gaussian(in_deg).looks_gaussian
+
+    def test_sp2bench_authorship_gaussian_in(self):
+        cfg = sp2bench_config(1 << 13)
+        typed = RichGraphGenerator(cfg, seed=7).generate()
+        creator = typed[0]
+        dst_lo, dst_hi = cfg.vertex_range("article")
+        in_deg = np.bincount(creator.edges[:, 1] - dst_lo,
+                             minlength=dst_hi - dst_lo)
+        assert fit_gaussian(in_deg).looks_gaussian
+
+    def test_self_rectangle_rule(self):
+        """SNB's person-knows-person rule generates within one range
+        (square rectangle on the diagonal)."""
+        cfg = snb_config(1 << 11)
+        typed = RichGraphGenerator(cfg, seed=8).generate()
+        knows = typed[0]
+        lo, hi = cfg.vertex_range("person")
+        assert knows.edges.min() >= lo
+        assert knows.edges.max() < hi

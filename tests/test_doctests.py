@@ -1,0 +1,22 @@
+"""Run the executable doctest examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.seed
+import repro.analysis.degree
+
+MODULES = [repro, repro.core.seed, repro.analysis.degree]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    # The package docstring carries at least one runnable example.
+    if module is repro:
+        assert results.attempted >= 1

@@ -1,0 +1,27 @@
+"""Every example application must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    """Deliverable check: at least a quickstart plus three scenarios."""
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout[-2000:]}\n"
+        f"{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{name} printed nothing"

@@ -1,0 +1,55 @@
+"""Tests for the TrillionG system facade."""
+
+import numpy as np
+import pytest
+
+from repro import TrillionG
+from repro.dist.runner import ClusterSpec
+from repro.formats import get_format
+
+
+class TestSequential:
+    def test_generate_to_file(self, tmp_path):
+        tg = TrillionG(scale=10, edge_factor=8, seed=1)
+        result = tg.generate_to(tmp_path / "g.adj6", fmt="adj6")
+        assert result.num_vertices == 1024
+        assert result.num_edges > 7000
+        assert result.paths[0].exists()
+        assert result.bytes_written == result.paths[0].stat().st_size
+        assert result.elapsed_seconds > 0
+
+    def test_generate_edges(self):
+        tg = TrillionG(scale=9, edge_factor=8, seed=2)
+        e = tg.generate_edges()
+        assert e.shape[0] > 3500
+        assert tg.num_edges == 8 * 512
+
+    def test_all_formats(self, tmp_path):
+        for fmt in ("tsv", "adj6", "csr6"):
+            tg = TrillionG(scale=8, edge_factor=8, seed=3)
+            result = tg.generate_to(tmp_path / f"g.{fmt}", fmt=fmt)
+            back = get_format(fmt).read_edges(result.paths[0])
+            assert back.shape[0] == result.num_edges
+
+    def test_noise_passthrough(self, tmp_path):
+        tg = TrillionG(scale=9, edge_factor=8, seed=4, noise=0.1)
+        result = tg.generate_to(tmp_path / "n.adj6")
+        assert result.num_edges > 3000
+
+
+class TestDistributed:
+    def test_cluster_output_matches_sequential(self, tmp_path):
+        seq = TrillionG(scale=11, edge_factor=8, seed=5,
+                        block_size=128).generate_edges()
+        tg = TrillionG(scale=11, edge_factor=8, seed=5, block_size=128,
+                       cluster=ClusterSpec(machines=2,
+                                           threads_per_machine=2))
+        result = tg.generate_to(tmp_path / "parts", fmt="adj6",
+                                processes=1)
+        parts = [get_format("adj6").read_edges(p) for p in result.paths]
+        merged = np.concatenate([p for p in parts if p.size])
+        order = np.lexsort((merged[:, 1], merged[:, 0]))
+        seq_order = np.lexsort((seq[:, 1], seq[:, 0]))
+        np.testing.assert_array_equal(merged[order], seq[seq_order])
+        assert result.num_edges == seq.shape[0]
+        assert result.skew >= 1.0

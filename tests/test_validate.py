@@ -1,0 +1,94 @@
+"""Tests for the output validator (repro.validate)."""
+
+import numpy as np
+import pytest
+
+from repro import GRAPH500, RecursiveVectorGenerator, SeedMatrix
+from repro.validate import Check, ValidationReport, validate_edges
+
+
+class TestChecksPass:
+    def test_good_graph_passes_everything(self):
+        g = RecursiveVectorGenerator(12, 16, seed=1)
+        report = validate_edges(g.edges(), g.num_vertices,
+                                seed_matrix=GRAPH500,
+                                expected_edges=g.num_edges)
+        assert report.ok, str(report)
+        names = {c.name for c in report.checks}
+        assert names == {"shape", "ids-in-range", "no-duplicate-edges",
+                         "edge-count", "zipf-slope"}
+
+    def test_empty_graph(self):
+        report = validate_edges(np.empty((0, 2), dtype=np.int64), 16)
+        assert report.ok
+
+    def test_optional_checks_skipped(self):
+        g = RecursiveVectorGenerator(9, 8, seed=2)
+        report = validate_edges(g.edges(), 512)
+        names = {c.name for c in report.checks}
+        assert "edge-count" not in names
+        assert "zipf-slope" not in names
+
+
+class TestChecksFail:
+    def test_out_of_range_detected(self):
+        edges = np.array([[0, 99]])
+        report = validate_edges(edges, 16)
+        assert not report.ok
+        assert report.failed()[0].name == "ids-in-range"
+
+    def test_duplicates_detected(self):
+        edges = np.array([[1, 2], [1, 2]])
+        report = validate_edges(edges, 16)
+        assert any(c.name == "no-duplicate-edges" and not c.passed
+                   for c in report.checks)
+
+    def test_duplicates_allowed_when_not_expected_simple(self):
+        edges = np.array([[1, 2], [1, 2]])
+        report = validate_edges(edges, 16, expect_simple=False)
+        assert report.ok
+
+    def test_wrong_edge_count_detected(self):
+        g = RecursiveVectorGenerator(10, 8, seed=3)
+        edges = g.edges()[:100]
+        report = validate_edges(edges, 1024, expected_edges=8192)
+        assert any(c.name == "edge-count" and not c.passed
+                   for c in report.checks)
+
+    def test_wrong_slope_detected(self):
+        """A uniform graph fails the Graph500 slope check."""
+        from repro.core.seed import UNIFORM
+        g = RecursiveVectorGenerator(12, 16, UNIFORM, seed=4)
+        report = validate_edges(g.edges(), g.num_vertices,
+                                seed_matrix=GRAPH500)
+        assert any(c.name == "zipf-slope" and not c.passed
+                   for c in report.checks)
+
+    def test_bad_shape_short_circuits(self):
+        report = validate_edges(np.zeros((3, 3), dtype=np.int64), 16)
+        assert not report.ok
+        assert len(report.checks) == 1
+
+    def test_hub_clipping_tolerated(self):
+        """At tiny scales with saturated hubs the realized count falls
+        below target legitimately; the validator must not flag it."""
+        g = RecursiveVectorGenerator(6, 32, seed=5)
+        edges = g.edges()
+        report = validate_edges(edges, 64, expected_edges=g.num_edges)
+        count_check = next(c for c in report.checks
+                           if c.name == "edge-count")
+        assert count_check.passed, count_check.detail
+
+
+class TestReportFormatting:
+    def test_str_contains_marks(self):
+        report = ValidationReport([Check("a", True, "fine"),
+                                   Check("b", False, "broken")])
+        text = str(report)
+        assert "[PASS] a" in text
+        assert "[FAIL] b" in text
+
+    def test_failed_list(self):
+        report = ValidationReport([Check("a", True, ""),
+                                   Check("b", False, "")])
+        assert [c.name for c in report.failed()] == ["b"]
