@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.rng import stream
 from .traversal import build_csr
 
 __all__ = ["reciprocity", "triangle_count", "clustering_coefficient_sampled",
@@ -74,7 +75,7 @@ def clustering_coefficient_sampled(edges: np.ndarray, num_vertices: int,
     the unbiased estimator of 3*triangles/wedges.
     """
     if rng is None:
-        rng = np.random.default_rng(0)
+        rng = stream(0)
     if edges.shape[0] == 0:
         return 0.0
     n = np.int64(num_vertices)
@@ -118,7 +119,7 @@ def effective_diameter(edges: np.ndarray, num_vertices: int,
     if not 0 < percentile < 1:
         raise ValueError("percentile must be in (0, 1)")
     if rng is None:
-        rng = np.random.default_rng(0)
+        rng = stream(0)
     if edges.shape[0] == 0:
         return 0.0
     und = symmetrize(edges, num_vertices)

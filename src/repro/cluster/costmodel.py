@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from ..core.seed import GRAPH500, SeedMatrix
 from .hardware import (PAPER_CLUSTER, SINGLE_PC, ClusterHardware)
 
-__all__ = ["CostEstimate", "CostModel", "OOM"]
+__all__ = ["CostEstimate", "CostModel", "OOM", "single_pc_model"]
 
 # -- calibrated constants (seconds per unit) --------------------------------
 

@@ -1,0 +1,127 @@
+"""Toggleable runtime invariant checks at model/dist boundaries.
+
+The linter (:mod:`repro.devtools`) proves structural invariants
+statically; this module checks the *numerical* ones at runtime, where
+static analysis cannot reach: probability vectors summing to one,
+seed matrices staying normalized through NSKG noise (Lemmas 7-8), and
+partition ranges exactly covering the vertex space (the precondition of
+the Section 5 determinism argument — a gap or overlap silently drops or
+duplicates scopes).
+
+Contracts are **off by default** so production generation pays nothing.
+Enable them with the environment variable ``TRILLIONG_CONTRACTS=1`` (any
+of ``1/true/yes/on``) or programmatically::
+
+    from repro import contracts
+    contracts.enable_contracts(True)    # force on
+    contracts.enable_contracts(False)   # force off
+    contracts.enable_contracts(None)    # back to the env var
+
+A failed contract raises :class:`repro.errors.ContractViolation`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ContractViolation
+
+__all__ = [
+    "ENV_VAR",
+    "contracts_enabled",
+    "enable_contracts",
+    "check_probability_vector",
+    "check_seed_matrix",
+    "check_partition_cover",
+]
+
+#: Environment variable consulted when no programmatic override is set.
+ENV_VAR = "TRILLIONG_CONTRACTS"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Programmatic override: None = defer to the environment.
+_override: bool | None = None
+
+
+def contracts_enabled() -> bool:
+    """Whether contract checks currently run (override, else env var)."""
+    if _override is not None:
+        return _override
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def enable_contracts(on: bool | None) -> None:
+    """Force contracts on/off; ``None`` defers back to ``ENV_VAR``."""
+    global _override
+    _override = on
+
+
+def _fail(message: str) -> None:
+    raise ContractViolation(message)
+
+
+def check_probability_vector(vec, *, tol: float = 1e-9,
+                             context: str = "probability vector") -> None:
+    """Assert ``vec`` is a probability vector: finite, non-negative
+    entries summing to 1 within ``tol``.  No-op when disabled."""
+    if not contracts_enabled():
+        return
+    arr = np.asarray(vec, dtype=np.float64).ravel()
+    if arr.size == 0:
+        _fail(f"{context}: empty")
+    if not np.all(np.isfinite(arr)):
+        _fail(f"{context}: non-finite entries")
+    if np.any(arr < 0):
+        _fail(f"{context}: negative entry {arr.min()!r}")
+    total = float(arr.sum())
+    if abs(total - 1.0) > tol:
+        _fail(f"{context}: entries sum to {total!r}, expected 1 "
+              f"(tol={tol})")
+
+
+def check_seed_matrix(matrix, *, tol: float = 1e-9) -> None:
+    """Assert a seed matrix is square, non-negative, and normalized.
+
+    Accepts a :class:`repro.core.seed.SeedMatrix` or a raw array.
+    No-op when disabled.
+    """
+    if not contracts_enabled():
+        return
+    entries = getattr(matrix, "entries", matrix)
+    arr = np.asarray(entries, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        _fail(f"seed matrix: not square (shape {arr.shape})")
+    check_probability_vector(arr, tol=tol, context="seed matrix")
+
+
+def check_partition_cover(ranges: Iterable[Sequence[int] | object],
+                          start: int, stop: int) -> None:
+    """Assert partition ranges tile ``[start, stop)`` exactly: contiguous,
+    non-empty, no gaps, no overlaps.
+
+    ``ranges`` holds ``(start, stop)`` pairs or objects with ``start`` /
+    ``stop`` attributes (e.g. :class:`repro.dist.partition.Bin`).
+    No-op when disabled.
+    """
+    if not contracts_enabled():
+        return
+    cursor = start
+    count = 0
+    for item in ranges:
+        lo, hi = ((item.start, item.stop)          # type: ignore[union-attr]
+                  if hasattr(item, "start") else (item[0], item[1]))
+        if lo != cursor:
+            _fail(f"partition cover: range {count} starts at {lo}, "
+                  f"expected {cursor} (gap or overlap)")
+        if hi <= lo:
+            _fail(f"partition cover: range {count} [{lo}, {hi}) is empty")
+        cursor = hi
+        count += 1
+    if count == 0:
+        _fail("partition cover: no ranges")
+    if cursor != stop:
+        _fail(f"partition cover: ranges end at {cursor}, expected {stop}")

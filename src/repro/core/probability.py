@@ -36,6 +36,9 @@ __all__ = [
     "destination_bit_probabilities",
     "expected_degree",
     "log_row_probabilities",
+    "total_row_probability_check",
+    "brute_force_row_probability",
+    "brute_force_cdf",
 ]
 
 

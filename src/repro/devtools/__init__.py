@@ -1,0 +1,32 @@
+"""``reprolint`` — project-specific static analysis for the TrillionG repo.
+
+The Python type system cannot see the invariants this codebase lives and
+dies by: every random draw must flow through the ``SeedSequence``-keyed
+streams of :mod:`repro.core.rng` (or graphs stop being bit-reproducible
+across worker partitionings), seed-matrix probabilities must stay
+normalized through the RecVec/NSKG arithmetic, and the high-precision
+``Decimal`` path must never silently mix with float math.  ``reprolint``
+machine-checks those invariants on every commit with a small AST-based
+checker framework (:mod:`~repro.devtools.framework`), six project
+checkers (:mod:`~repro.devtools.checkers`), text/JSON reporters
+(:mod:`~repro.devtools.reporters`), and a CLI
+(``python -m repro.devtools.lint`` / ``trilliong-lint``).
+
+See ``docs/static_analysis.md`` for the checker catalogue and the pragma
+syntax for suppressions.
+"""
+
+from .framework import (Checker, LintConfig, SourceFile, Violation,
+                        all_checkers, lint_file, lint_paths,
+                        register_checker)
+
+__all__ = [
+    "Checker",
+    "LintConfig",
+    "SourceFile",
+    "Violation",
+    "all_checkers",
+    "lint_file",
+    "lint_paths",
+    "register_checker",
+]

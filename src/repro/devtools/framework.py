@@ -1,0 +1,273 @@
+"""Checker framework for ``reprolint``.
+
+A :class:`Checker` is an :class:`ast.NodeVisitor` subclass registered via
+:func:`register_checker`.  The runner parses each file once into a
+:class:`SourceFile` (source text, AST, dotted module name, pragma table)
+and hands it to every enabled checker; checkers call :meth:`Checker.flag`
+to report :class:`Violation` records.  Suppressions use pragma comments:
+
+- ``# reprolint: disable=<name-or-code>[,<name-or-code>...]`` on the
+  offending line (or ``disable=all``),
+- ``# reprolint: disable-file=<name-or-code>[,...]`` anywhere in the file
+  to silence a checker for the whole file,
+- ``# reprolint: skip-file`` to skip the file entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Type
+
+__all__ = ["Violation", "LintConfig", "SourceFile", "Checker",
+           "register_checker", "all_checkers", "lint_file", "lint_paths",
+           "module_name", "iter_python_files", "config_with", "ALL"]
+
+_PRAGMA = re.compile(r"#\s*reprolint:\s*(skip-file|disable(?:-file)?=([\w\-, ]+))")
+
+#: Sentinel meaning "every checker" in a pragma's disable set.
+ALL = "all"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, and what went wrong."""
+
+    path: str
+    line: int
+    col: int
+    code: str      #: stable machine code, e.g. ``RPL101``
+    name: str      #: checker name, e.g. ``rng-determinism``
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.code} [{self.name}] {self.message}")
+
+    def to_dict(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "name": self.name,
+                "message": self.message}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Project policy consumed by the checkers.
+
+    The defaults encode the TrillionG repo's rules; tests override
+    individual fields to exercise checkers against fixture trees.
+    """
+
+    #: Module allowed to construct numpy generators / SeedSequences.
+    rng_module: str = "repro.core.rng"
+    #: Extra modules allowed to *call into* numpy's random module
+    #: (none by default — everything routes through ``rng_module``).
+    rng_allowed_modules: frozenset[str] = frozenset()
+    #: ``numpy.random`` attributes that may be referenced anywhere because
+    #: they are types used in annotations, not entropy sources.
+    rng_type_names: frozenset[str] = frozenset(
+        {"Generator", "BitGenerator", "RandomState"})
+    #: Layering rules: modules under <key> must not import <values>.
+    layering_rules: dict[str, tuple[str, ...]] = field(default_factory=lambda: {
+        "repro.core": ("repro.dist", "repro.formats", "repro.cli",
+                       "repro.cluster"),
+        "repro.models": ("repro.dist",),
+        "repro.util": ("repro.core", "repro.models", "repro.dist",
+                       "repro.formats", "repro.cluster", "repro.cli"),
+    })
+    #: Modules whose Decimal high-precision paths must not round-trip
+    #: through ``float()``.
+    precision_modules: frozenset[str] = frozenset(
+        {"repro.core.recvec", "repro.core.probability"})
+    #: Modules where broad ``except`` clauses are tolerated (none today).
+    broad_except_allowed: frozenset[str] = frozenset()
+    #: Module basenames exempt from the ``__all__`` requirement.
+    all_exempt_basenames: frozenset[str] = frozenset({"__main__.py"})
+    #: Float literals that are exact in binary and legitimate sentinels,
+    #: so ``x == 0.0`` style guards are not flagged.
+    exact_float_sentinels: frozenset[float] = frozenset({0.0, 1.0, -1.0})
+    #: Identifier substrings marking an expression as a probability /
+    #: CDF value for the float-equality rule.
+    probability_name_patterns: tuple[str, ...] = (
+        "prob", "cdf", "recvec", "pvec")
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file plus the metadata checkers need."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    module: str                        #: dotted name, e.g. ``repro.core.rng``
+    skip: bool = False
+    file_disabled: set[str] = field(default_factory=set)
+    line_disabled: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path | str) -> "SourceFile":
+        path = Path(path)
+        with tokenize.open(path) as handle:
+            text = handle.read()
+        tree = ast.parse(text, filename=str(path))
+        src = cls(path=path, text=text, tree=tree,
+                  module=module_name(path))
+        src._scan_pragmas()
+        return src
+
+    def _scan_pragmas(self) -> None:
+        for lineno, line in enumerate(self.text.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if not match:
+                continue
+            if match.group(1) == "skip-file":
+                self.skip = True
+                continue
+            targets = {t.strip().lower()
+                       for t in (match.group(2) or "").split(",") if t.strip()}
+            if match.group(1).startswith("disable-file"):
+                self.file_disabled |= targets
+            else:
+                self.line_disabled.setdefault(lineno, set()).update(targets)
+
+    def is_disabled(self, checker: "Checker", line: int, code: str) -> bool:
+        keys = {checker.name.lower(), code.lower(), ALL}
+        if keys & self.file_disabled:
+            return True
+        return bool(keys & self.line_disabled.get(line, set()))
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name, found by walking up through ``__init__.py``s.
+
+    ``src/repro/core/rng.py`` maps to ``repro.core.rng``; a loose file
+    outside any package maps to its own stem.
+    """
+    path = Path(path).resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for one lint rule family.
+
+    Subclasses set :attr:`name` and :attr:`codes`, implement visitor
+    methods, and call :meth:`flag`.  One instance is created per file.
+    """
+
+    #: Kebab-case rule name used in pragmas and reports.
+    name: str = "abstract"
+    #: Mapping of machine code -> human description of the rule.
+    codes: dict[str, str] = {}
+
+    def __init__(self, source: SourceFile, config: LintConfig) -> None:
+        self.source = source
+        self.config = config
+        self.violations: list[Violation] = []
+
+    def run(self) -> list[Violation]:
+        """Collect this checker's violations for :attr:`source`."""
+        self.visit(self.source.tree)
+        self.finish()
+        return self.violations
+
+    def finish(self) -> None:
+        """Hook for whole-module rules that report after traversal."""
+
+    def flag(self, node: ast.AST | None, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        if self.source.is_disabled(self, line, code):
+            return
+        self.violations.append(Violation(
+            path=str(self.source.path), line=line, col=col, code=code,
+            name=self.name, message=message))
+
+
+_CHECKERS: dict[str, Type[Checker]] = {}
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if cls.name in _CHECKERS:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    _CHECKERS[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> dict[str, Type[Checker]]:
+    """Registered checkers by name (importing the bundled set first)."""
+    from . import checkers as _bundled  # noqa: F401  (import registers)
+    return dict(_CHECKERS)
+
+
+def _select(enabled: Iterable[str] | None,
+            disabled: Iterable[str] | None) -> list[Type[Checker]]:
+    registry = all_checkers()
+    names = set(registry)
+    if enabled is not None:
+        unknown = set(enabled) - names
+        if unknown:
+            raise KeyError(f"unknown checkers: {sorted(unknown)}")
+        names &= set(enabled)
+    if disabled is not None:
+        names -= set(disabled)
+    return [registry[name] for name in sorted(names)]
+
+
+def lint_file(path: Path | str, config: LintConfig | None = None, *,
+              enabled: Iterable[str] | None = None,
+              disabled: Iterable[str] | None = None) -> list[Violation]:
+    """Run the (selected) checkers over one file."""
+    config = config or LintConfig()
+    source = SourceFile.parse(path)
+    if source.skip:
+        return []
+    out: list[Violation] = []
+    for cls in _select(enabled, disabled):
+        out.extend(cls(source, config).run())
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return out
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def lint_paths(paths: Iterable[Path | str],
+               config: LintConfig | None = None, *,
+               enabled: Iterable[str] | None = None,
+               disabled: Iterable[str] | None = None
+               ) -> tuple[list[Violation], int]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(violations, files_checked)``.  Unparseable files raise
+    :class:`SyntaxError` to the caller (the CLI maps that to exit 2).
+    """
+    out: list[Violation] = []
+    count = 0
+    for path in iter_python_files(paths):
+        out.extend(lint_file(path, config, enabled=enabled,
+                             disabled=disabled))
+        count += 1
+    return out, count
+
+
+def config_with(config: LintConfig | None = None, **overrides) -> LintConfig:
+    """Convenience for tests: a config with selected fields replaced."""
+    return replace(config or LintConfig(), **overrides)

@@ -1,0 +1,83 @@
+"""``reprolint`` command line: ``python -m repro.devtools.lint`` or the
+``trilliong-lint`` console script.
+
+Exit codes: 0 clean, 1 findings, 2 usage / unreadable / unparseable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .framework import LintConfig, all_checkers, lint_paths
+from .reporters import json_report, text_report
+
+__all__ = ["main", "build_parser", "default_target"]
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package directory (lint it by default)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="trilliong-lint",
+        description="Project-specific static analysis for the TrillionG "
+                    "reproduction (RNG determinism, layering, numerical "
+                    "safety, exception hygiene, API completeness, mutable "
+                    "defaults).")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint "
+                             "(default: the installed repro package)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--select", metavar="NAMES",
+                        help="comma-separated checker names to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", metavar="NAMES",
+                        help="comma-separated checker names to skip")
+    parser.add_argument("--list-checkers", action="store_true",
+                        help="list registered checkers and exit")
+    return parser
+
+
+def _split(arg: str | None) -> list[str] | None:
+    if arg is None:
+        return None
+    return [part.strip() for part in arg.split(",") if part.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_checkers:
+        for name, cls in sorted(all_checkers().items()):
+            codes = ", ".join(sorted(cls.codes))
+            print(f"{name:20s} {codes}")
+        return 0
+
+    paths = args.paths or [default_target()]
+    try:
+        violations, files_checked = lint_paths(
+            paths, LintConfig(),
+            enabled=_split(args.select), disabled=_split(args.ignore))
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"trilliong-lint: error: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"trilliong-lint: syntax error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json_report(violations, files_checked))
+    else:
+        print(text_report(violations, files_checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

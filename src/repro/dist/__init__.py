@@ -2,11 +2,11 @@
 hash shuffle, external sort, and the local multiprocessing cluster."""
 
 from .checkpoint import CheckpointedRun, CheckpointState
-from .external_sort import external_sort_unique, merge_sorted_runs, write_run
+from ..util.external_sort import external_sort_unique, merge_sorted_runs, write_run
 from .merge_parts import merge_parts
 from .partition import Bin, combine, range_partition, repartition
 from .runner import ClusterSpec, DistributedResult, LocalCluster, WorkerResult
-from .shuffle import hash_partition, mix64, partition_sizes
+from ..util.shuffle import hash_partition, mix64, partition_sizes
 from .wesp_runner import WespDistributedResult, run_wesp_distributed
 
 __all__ = [

@@ -1,138 +1,10 @@
-"""External sort with duplicate elimination.
-
-The disk-based WES variants (RMAT-disk, WES/p-disk) eliminate repeated
-edges by external sort: sorted runs are spilled to disk during generation
-and k-way merged afterwards with equal keys collapsed.  Runs are flat
-little-endian int64 files of packed edge keys (``u * |V| + v``).
-
-The merge streams each run in bounded chunks, so peak memory is
-``O(num_runs * chunk)`` regardless of the total edge count.
-"""
+"""Backward-compatible alias: the external sort moved to
+:mod:`repro.util.external_sort` so the ``models`` layer can use it
+without importing ``dist`` (reprolint's layering rule RPL201)."""
 
 from __future__ import annotations
 
-import heapq
-from pathlib import Path
-from typing import Iterable, Iterator
-
-import numpy as np
+from ..util.external_sort import (external_sort_unique, merge_sorted_runs,
+                                  write_run)
 
 __all__ = ["write_run", "external_sort_unique", "merge_sorted_runs"]
-
-
-def write_run(keys: np.ndarray, path: Path) -> Path:
-    """Spill one sorted run of int64 keys to ``path``."""
-    np.asarray(keys, dtype=np.int64).tofile(path)
-    return Path(path)
-
-
-class _RunReader:
-    """Chunked sequential reader over one sorted run file."""
-
-    def __init__(self, path: Path, chunk_items: int) -> None:
-        self._path = Path(path)
-        self._chunk = max(chunk_items, 1)
-        self._offset = 0
-        self._total = self._path.stat().st_size // 8
-        self._buffer = np.empty(0, dtype=np.int64)
-        self._pos = 0
-
-    def next_chunk(self) -> np.ndarray | None:
-        """Return the next chunk of keys, or None at end of run."""
-        if self._offset >= self._total:
-            return None
-        count = min(self._chunk, self._total - self._offset)
-        with open(self._path, "rb") as f:
-            f.seek(self._offset * 8)
-            chunk = np.fromfile(f, dtype=np.int64, count=count)
-        self._offset += count
-        return chunk
-
-    def __iter__(self) -> Iterator[int]:
-        while True:
-            chunk = self.next_chunk()
-            if chunk is None:
-                return
-            yield from chunk.tolist()
-
-
-def merge_sorted_runs(paths: Iterable[Path],
-                      chunk_items: int = 1 << 16) -> Iterator[np.ndarray]:
-    """K-way merge of sorted runs, yielding sorted, duplicate-free chunks.
-
-    Uses a chunk-level merge: repeatedly take the run whose buffered chunk
-    has the smallest head, emit the prefix that is safely below every other
-    run's head, and refill.  Falls back to heapq element merge only inside
-    overlapping regions via numpy merging, keeping the loop vectorized.
-    """
-    readers = [_RunReader(p, chunk_items) for p in paths]
-    # Simple robust strategy: heap of (first_key, run_index, chunk, pos).
-    heap: list[tuple[int, int]] = []
-    chunks: dict[int, np.ndarray] = {}
-    positions: dict[int, int] = {}
-    for idx, reader in enumerate(readers):
-        chunk = reader.next_chunk()
-        if chunk is not None and chunk.size:
-            chunks[idx] = chunk
-            positions[idx] = 0
-            heapq.heappush(heap, (int(chunk[0]), idx))
-
-    pending: list[np.ndarray] = []
-    pending_items = 0
-    last_emitted: int | None = None
-
-    def flush() -> Iterator[np.ndarray]:
-        nonlocal pending, pending_items, last_emitted
-        if not pending:
-            return
-        merged = np.concatenate(pending)
-        pending = []
-        pending_items = 0
-        if merged.size:
-            out = np.sort(merged)
-            keep = np.empty(out.size, dtype=bool)
-            keep[0] = last_emitted is None or out[0] != last_emitted
-            np.not_equal(out[1:], out[:-1], out=keep[1:])
-            out = out[keep]
-            if out.size:
-                last_emitted = int(out[-1])
-                yield out
-
-    while heap:
-        _, idx = heapq.heappop(heap)
-        chunk = chunks[idx]
-        pos = positions[idx]
-        if heap:
-            # Emit the part of this chunk that is <= the next run's head;
-            # anything beyond may interleave with other runs.
-            bound = heap[0][0]
-            cut = int(np.searchsorted(chunk, bound, side="right"))
-            cut = max(cut, pos + 1)
-        else:
-            cut = chunk.size
-        pending.append(chunk[pos:cut])
-        pending_items += cut - pos
-        if cut < chunk.size:
-            positions[idx] = cut
-            heapq.heappush(heap, (int(chunk[cut]), idx))
-        else:
-            refill = readers[idx].next_chunk()
-            if refill is not None and refill.size:
-                chunks[idx] = refill
-                positions[idx] = 0
-                heapq.heappush(heap, (int(refill[0]), idx))
-            else:
-                chunks.pop(idx, None)
-                positions.pop(idx, None)
-        if pending_items >= chunk_items:
-            yield from flush()
-    yield from flush()
-
-
-def external_sort_unique(paths: Iterable[Path],
-                         chunk_items: int = 1 << 16) -> np.ndarray:
-    """Merge sorted runs into one duplicate-free sorted array."""
-    parts = list(merge_sorted_runs(paths, chunk_items))
-    if not parts:
-        return np.empty(0, dtype=np.int64)
-    return np.concatenate(parts)

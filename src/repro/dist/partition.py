@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import check_partition_cover
 from ..core.generator import RecursiveVectorGenerator
 
 __all__ = ["Bin", "combine", "repartition", "range_partition"]
@@ -128,5 +129,8 @@ def range_partition(generator: RecursiveVectorGenerator,
         all_bins[-1] = Bin(last.start, n, last.mass)
     # Step 3: repartition on the master.
     ranges = repartition(all_bins, num_workers)
+    # Section 5's determinism argument needs the ranges to tile [0, |V|)
+    # exactly: a gap drops scopes, an overlap generates them twice.
+    check_partition_cover(ranges, 0, n)
     # Step 4 (scatter) is the caller handing ranges to workers.
     return ranges

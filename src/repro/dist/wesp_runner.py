@@ -31,8 +31,8 @@ import numpy as np
 from ..core.rng import stream
 from ..core.seed import SeedMatrix
 from ..models.rmat import rmat_edge_batch
-from .external_sort import external_sort_unique, write_run
-from .shuffle import hash_partition
+from ..util.external_sort import external_sort_unique, write_run
+from ..util.shuffle import hash_partition
 
 __all__ = ["WespDistributedResult", "run_wesp_distributed"]
 

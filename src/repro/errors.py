@@ -8,6 +8,17 @@ the cluster cost model, mirroring the paper's "O.O.M" bars in Figures 11 and
 
 from __future__ import annotations
 
+__all__ = [
+    "TrillionGError",
+    "ConfigurationError",
+    "SeedMatrixError",
+    "FormatError",
+    "OutOfMemoryError",
+    "CapacityError",
+    "GenerationError",
+    "ContractViolation",
+]
+
 
 class TrillionGError(Exception):
     """Base class for every error raised by :mod:`repro`."""
@@ -49,3 +60,12 @@ class CapacityError(TrillionGError, RuntimeError):
 class GenerationError(TrillionGError, RuntimeError):
     """Edge generation failed to converge (e.g. a scope could not reach its
     requested size because the scope is smaller than the requested count)."""
+
+
+class ContractViolation(TrillionGError, AssertionError):
+    """A runtime invariant checked by :mod:`repro.contracts` failed.
+
+    Raised only when contract checking is enabled (``TRILLIONG_CONTRACTS=1``
+    or :func:`repro.contracts.enable_contracts`); production runs pay no
+    cost for disabled contracts.
+    """

@@ -30,7 +30,10 @@ from .models import (FastKroneckerGenerator, Graph500Generator,
 from .rich_graph import (RichGraphGenerator, bibliographical_config,
                          seed_for_in_slope, seed_for_out_slope)
 
-__all__ = ["EXPERIMENTS", "run_experiment", "available_experiments"]
+__all__ = ["EXPERIMENTS", "run_experiment", "available_experiments",
+           "table2_rows", "table3_rows", "figure8_rows", "figure9_rows",
+           "figure10_rows", "figure11a_measured_rows", "figure13_rows",
+           "figure14_measured_rows"]
 
 Rows = list[dict]
 

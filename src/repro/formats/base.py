@@ -21,7 +21,7 @@ import numpy as np
 from ..errors import FormatError
 
 __all__ = ["WriteResult", "GraphFormat", "StreamWriter", "register_format", "get_format",
-           "available_formats", "SIX_BYTES"]
+           "available_formats", "SIX_BYTES", "encode_id6", "decode_id6"]
 
 #: Width of a vertex ID in the binary formats.  6 bytes covers 2^48
 #: vertices — the paper's minimum for trillion-scale graphs.
@@ -68,9 +68,11 @@ class StreamWriter(ABC):
             self.close()
         else:
             # Best effort: release the handle; the partial file remains.
+            # Only I/O and format finalization errors are swallowed — the
+            # in-flight exception stays primary; anything else propagates.
             try:
                 self.close()
-            except Exception:
+            except (OSError, FormatError):
                 pass
 
 

@@ -14,6 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..errors import FormatError
 from .base import WriteResult, get_format
 
 __all__ = ["write_many"]
@@ -40,16 +41,23 @@ def write_many(adjacency: Iterable[tuple[int, np.ndarray]],
         raise ValueError("write_many needs at least one output")
     writers = {name: get_format(name).open_writer(path, num_vertices)
                for name, path in outputs.items()}
+    results: dict[str, WriteResult] = {}
     try:
         for u, vs in adjacency:
             vs = np.asarray(vs, dtype=np.int64)
             for writer in writers.values():
                 writer.add(int(u), vs)
-    except Exception:
-        for writer in writers.values():
-            try:
-                writer.close()
-            except Exception:
-                pass
-        raise
-    return {name: writer.close() for name, writer in writers.items()}
+        for name, writer in writers.items():
+            results[name] = writer.close()
+        return results
+    finally:
+        # If the stream or a close failed, release the remaining handles;
+        # only I/O/format finalization errors are swallowed so the original
+        # exception stays primary.  Partial files remain on disk.
+        if len(results) != len(writers):
+            for name, writer in writers.items():
+                if name not in results:
+                    try:
+                        writer.close()
+                    except (OSError, FormatError):
+                        pass

@@ -20,7 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..dist.external_sort import external_sort_unique
+from ..util.external_sort import external_sort_unique
 from ..errors import GenerationError
 from .base import (BYTES_PER_EDGE_IN_MEMORY, Complexity, ScopeBasedGenerator,
                    dedup_edges)

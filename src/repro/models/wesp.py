@@ -23,8 +23,8 @@ from pathlib import Path
 
 import numpy as np
 
-from ..dist.external_sort import external_sort_unique, write_run
-from ..dist.shuffle import hash_partition
+from ..util.external_sort import external_sort_unique, write_run
+from ..util.shuffle import hash_partition
 from .base import (BYTES_PER_EDGE_IN_MEMORY, Complexity, ScopeBasedGenerator)
 from .rmat import rmat_edge_batch
 

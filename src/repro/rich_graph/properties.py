@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..dist.shuffle import mix64
+from ..util.shuffle import mix64
 from ..errors import ConfigurationError
 
 __all__ = ["UniformProperty", "NormalProperty", "ExponentialProperty",

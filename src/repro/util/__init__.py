@@ -1,0 +1,17 @@
+"""Layer-free algorithmic utilities.
+
+``util`` sits at the bottom of the package layering (see
+``docs/static_analysis.md``): it may be imported from anywhere —
+``core``, ``models``, ``dist``, ``formats`` — and must not import any of
+those layers back.  It currently holds the external-sort machinery and
+the hash shuffle, which the WES baselines (``models``) and the
+distributed runners (``dist``) share.
+"""
+
+from .external_sort import external_sort_unique, merge_sorted_runs, write_run
+from .shuffle import hash_partition, mix64, partition_sizes
+
+__all__ = [
+    "external_sort_unique", "merge_sorted_runs", "write_run",
+    "hash_partition", "mix64", "partition_sizes",
+]

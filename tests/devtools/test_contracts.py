@@ -1,0 +1,126 @@
+"""Runtime contracts: toggle semantics and the boundary wire-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import contracts
+from repro.core.noise import noisy_seed_matrices
+from repro.core.rng import stream
+from repro.core.seed import GRAPH500
+from repro.errors import ContractViolation
+from repro.models.rmat import RmatMemGenerator
+
+
+@pytest.fixture()
+def contracts_on():
+    contracts.enable_contracts(True)
+    yield
+    contracts.enable_contracts(None)
+
+
+class _Denormalized:
+    """Stands in for a SeedMatrix whose construction-time renormalization
+    was bypassed — the exact failure the contract exists to catch."""
+
+    entries = np.array([[0.5, 0.3], [0.3, 0.3]])
+
+
+# ---------------------------------------------------------------------------
+# toggling
+# ---------------------------------------------------------------------------
+
+def test_disabled_by_default_and_free(monkeypatch):
+    monkeypatch.delenv(contracts.ENV_VAR, raising=False)
+    contracts.enable_contracts(None)
+    assert not contracts.contracts_enabled()
+    # no-ops on garbage when disabled
+    contracts.check_probability_vector([2.0, 3.0])
+    contracts.check_seed_matrix(_Denormalized())
+    contracts.check_partition_cover([], 0, 10)
+
+
+def test_env_var_enables(monkeypatch):
+    contracts.enable_contracts(None)
+    monkeypatch.setenv(contracts.ENV_VAR, "1")
+    assert contracts.contracts_enabled()
+    monkeypatch.setenv(contracts.ENV_VAR, "off")
+    assert not contracts.contracts_enabled()
+
+
+def test_api_override_beats_env(monkeypatch):
+    monkeypatch.setenv(contracts.ENV_VAR, "1")
+    contracts.enable_contracts(False)
+    try:
+        assert not contracts.contracts_enabled()
+    finally:
+        contracts.enable_contracts(None)
+
+
+# ---------------------------------------------------------------------------
+# the checks themselves
+# ---------------------------------------------------------------------------
+
+def test_probability_vector_good_and_bad(contracts_on):
+    contracts.check_probability_vector([0.25, 0.25, 0.5])
+    with pytest.raises(ContractViolation, match="sum"):
+        contracts.check_probability_vector([0.25, 0.25])
+    with pytest.raises(ContractViolation, match="negative"):
+        contracts.check_probability_vector([1.5, -0.5])
+    with pytest.raises(ContractViolation, match="non-finite"):
+        contracts.check_probability_vector([np.nan, 1.0])
+    with pytest.raises(ContractViolation, match="empty"):
+        contracts.check_probability_vector([])
+
+
+def test_seed_matrix_contract_trips_on_denormalized(contracts_on):
+    contracts.check_seed_matrix(GRAPH500)           # the paper's seed: fine
+    with pytest.raises(ContractViolation, match="sum"):
+        contracts.check_seed_matrix(_Denormalized())
+    with pytest.raises(ContractViolation, match="square"):
+        contracts.check_seed_matrix(np.array([[0.5, 0.5]]))
+
+
+def test_partition_cover_good_and_bad(contracts_on):
+    contracts.check_partition_cover([(0, 4), (4, 10)], 0, 10)
+    with pytest.raises(ContractViolation, match="gap or overlap"):
+        contracts.check_partition_cover([(0, 4), (5, 10)], 0, 10)
+    with pytest.raises(ContractViolation, match="gap or overlap"):
+        contracts.check_partition_cover([(0, 6), (4, 10)], 0, 10)
+    with pytest.raises(ContractViolation, match="end at"):
+        contracts.check_partition_cover([(0, 4)], 0, 10)
+    with pytest.raises(ContractViolation, match="empty"):
+        contracts.check_partition_cover([(0, 4), (4, 4), (4, 10)], 0, 10)
+    with pytest.raises(ContractViolation, match="no ranges"):
+        contracts.check_partition_cover([], 0, 10)
+
+
+# ---------------------------------------------------------------------------
+# boundary wire-ins
+# ---------------------------------------------------------------------------
+
+def test_model_boundary_trips_on_denormalized_seed_matrix(contracts_on):
+    with pytest.raises(ContractViolation):
+        RmatMemGenerator(scale=4, seed_matrix=_Denormalized())
+
+
+def test_model_boundary_passes_on_real_seed_matrix(contracts_on):
+    edges = RmatMemGenerator(scale=5, seed=3).generate()
+    assert edges.shape[1] == 2
+
+
+def test_noise_stack_contract_passes(contracts_on):
+    matrices = noisy_seed_matrices(GRAPH500, levels=8, noise=0.05,
+                                   rng=stream(11))
+    assert len(matrices) == 8
+
+
+def test_range_partition_cover_contract_passes(contracts_on):
+    from repro.core.generator import RecursiveVectorGenerator
+    from repro.dist.partition import range_partition
+
+    gen = RecursiveVectorGenerator(scale=8, edge_factor=8, seed=5)
+    ranges = range_partition(gen, 4)
+    assert ranges[0].start == 0
+    assert ranges[-1].stop == gen.num_vertices

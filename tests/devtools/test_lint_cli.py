@@ -1,0 +1,90 @@
+"""CLI behaviour (exit codes, reporters) and the repo self-check."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.devtools import all_checkers, lint_paths
+from repro.devtools.lint import main
+
+CLEAN = "__all__ = ['f']\n\n\ndef f():\n    return 0\n"
+DIRTY = ("import random\n\n__all__ = ['f']\n\n\n"
+         "def f(x=[]):\n"
+         "    return x == 0.3\n")
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    assert main([str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_with_correct_report_on_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(DIRTY)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    # one line per finding, path:line:col prefixed, plus a summary footer
+    assert f"{bad}:1:0: RPL101" in out
+    assert "RPL601" in out and "RPL301" in out
+    assert "3 finding(s) in 1 file(s)" in out
+
+
+def test_json_report(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert main([str(tmp_path), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["tool"] == "reprolint"
+    assert doc["files_checked"] == 1
+    assert doc["summary"] == {"mutable-defaults": 1,
+                              "numerical-safety": 1,
+                              "rng-determinism": 1}
+    assert {v["code"] for v in doc["violations"]} == {
+        "RPL101", "RPL301", "RPL601"}
+
+
+def test_select_and_ignore(tmp_path):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert main([str(tmp_path), "--select", "exception-hygiene"]) == 0
+    assert main([str(tmp_path), "--ignore",
+                 "rng-determinism,mutable-defaults,numerical-safety"]) == 0
+
+
+def test_exit_two_on_unknown_checker(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    assert main([str(tmp_path), "--select", "nope"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    assert main([str(tmp_path / "absent.q")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_exit_two_on_syntax_error(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    assert main([str(tmp_path)]) == 2
+    assert "syntax error" in capsys.readouterr().err
+
+
+def test_list_checkers(capsys):
+    assert main(["--list-checkers"]) == 0
+    out = capsys.readouterr().out
+    for name in ("rng-determinism", "layering", "numerical-safety",
+                 "exception-hygiene", "api-completeness",
+                 "mutable-defaults"):
+        assert name in out
+
+
+def test_at_least_six_checkers_registered():
+    assert len(all_checkers()) >= 6
+
+
+def test_reprolint_runs_clean_on_the_repo_itself():
+    """The acceptance gate: src/repro carries zero violations."""
+    package_dir = Path(repro.__file__).parent
+    violations, files_checked = lint_paths([package_dir])
+    assert violations == [], "\n".join(v.render() for v in violations)
+    assert files_checked > 70
