@@ -59,6 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--machines", type=int, default=1)
     gen.add_argument("--threads", type=int, default=1,
                      help="threads per machine")
+    gen.add_argument("--retries", type=int, default=None,
+                     help="max re-attempts per worker task before the "
+                          "run fails (default 3)")
+    gen.add_argument("--task-timeout", type=float, default=None,
+                     help="per-attempt wall-clock budget in seconds; "
+                          "hung workers are killed and retried")
+    gen.add_argument("--resume", action="store_true",
+                     help="checkpointed generation into the output "
+                          "directory; re-run the same command after a "
+                          "crash to continue where it stopped")
+    gen.add_argument("--blocks-per-chunk", type=int, default=16,
+                     help="checkpoint granularity with --resume")
 
     rich = sub.add_parser("rich",
                           help="generate a rich (gMark-style) graph")
@@ -203,10 +215,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if args.machines * args.threads > 1:
         cluster = ClusterSpec(machines=args.machines,
                               threads_per_machine=args.threads)
+    retry = None
+    if args.retries is not None or args.task_timeout is not None:
+        from .dist import RetryPolicy
+        retry = RetryPolicy(
+            retries=args.retries if args.retries is not None else 3,
+            task_timeout=args.task_timeout)
     tg = TrillionG(args.scale, args.edge_factor,
                    _parse_matrix(args.matrix), noise=args.noise,
-                   engine=args.engine, seed=args.seed, cluster=cluster)
-    result = tg.generate_to(args.output, fmt=args.format)
+                   engine=args.engine, seed=args.seed, cluster=cluster,
+                   retry=retry)
+    result = tg.generate_to(args.output, fmt=args.format,
+                            resume=args.resume,
+                            blocks_per_chunk=args.blocks_per_chunk)
     print(f"generated |V|={result.num_vertices} "
           f"|E|={result.num_edges} "
           f"bytes={result.bytes_written} "

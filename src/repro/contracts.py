@@ -36,6 +36,8 @@ __all__ = [
     "check_probability_vector",
     "check_seed_matrix",
     "check_partition_cover",
+    "check_worker_result",
+    "check_attempt_history",
 ]
 
 #: Environment variable consulted when no programmatic override is set.
@@ -125,3 +127,60 @@ def check_partition_cover(ranges: Iterable[Sequence[int] | object],
         _fail("partition cover: no ranges")
     if cursor != stop:
         _fail(f"partition cover: ranges end at {cursor}, expected {stop}")
+
+
+def check_worker_result(result: object, *, start: int | None = None,
+                        stop: int | None = None) -> None:
+    """Assert a distributed worker's result is sane: it covers exactly
+    the range it was assigned, reports a non-negative edge count, and its
+    output file exists on disk.
+
+    ``result`` is duck-typed (``repro.dist.runner.WorkerResult``-shaped:
+    ``start`` / ``stop`` / ``num_edges`` / ``path`` attributes) so this
+    bottom layer does not import the distribution layer.  No-op when
+    disabled.
+    """
+    if not contracts_enabled():
+        return
+    if result is None:
+        _fail("worker result: missing (task produced no result)")
+    r_start = getattr(result, "start", None)
+    r_stop = getattr(result, "stop", None)
+    num_edges = getattr(result, "num_edges", None)
+    path = getattr(result, "path", None)
+    if start is not None and r_start != start:
+        _fail(f"worker result: covers start {r_start}, assigned {start}")
+    if stop is not None and r_stop != stop:
+        _fail(f"worker result: covers stop {r_stop}, assigned {stop}")
+    if not isinstance(num_edges, int) or num_edges < 0:
+        _fail(f"worker result: bad edge count {num_edges!r}")
+    if path is not None and not os.path.exists(str(path)):
+        _fail(f"worker result: output file {path} does not exist")
+
+
+def check_attempt_history(attempts: Sequence[object]) -> None:
+    """Assert a task's attempt trail is well-formed: attempt numbers
+    strictly increase from 1, every non-final attempt failed, and the
+    final attempt succeeded.
+
+    ``attempts`` holds ``repro.dist.faults.TaskAttempt``-shaped records
+    (``attempt`` / ``outcome`` attributes).  No-op when disabled.
+    """
+    if not contracts_enabled():
+        return
+    if not attempts:
+        _fail("attempt history: empty (task was never attempted)")
+    previous = 0
+    for record in attempts:
+        number = getattr(record, "attempt", None)
+        if not isinstance(number, int) or number <= previous:
+            _fail(f"attempt history: attempt number {number!r} after "
+                  f"{previous} (must strictly increase from 1)")
+        previous = number
+    for record in attempts[:-1]:
+        if getattr(record, "outcome", None) == "ok":
+            _fail("attempt history: a non-final attempt reported ok "
+                  "(the task would have been retried needlessly)")
+    if getattr(attempts[-1], "outcome", None) != "ok":
+        _fail(f"attempt history: final attempt outcome is "
+              f"{getattr(attempts[-1], 'outcome', None)!r}, expected 'ok'")

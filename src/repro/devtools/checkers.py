@@ -291,21 +291,32 @@ class NumericalSafetyChecker(Checker):
 
 @register_checker
 class ExceptionHygieneChecker(Checker):
-    """No bare or broad ``except`` clauses outside the allowlist.
+    """No bare or broad ``except`` clauses outside the allowlist, and no
+    unbounded blocking pool calls in the distribution layer.
 
     Broad handlers swallow :class:`~repro.errors.TrillionGError` subtypes
     (including the *simulated* OutOfMemoryError the experiments rely on)
     and hide real I/O failures; catch the specific errors and route them
-    through :mod:`repro.errors`.
+    through :mod:`repro.errors`.  In ``dist/`` modules, a bare
+    ``pool.map`` (or a timeout-less ``AsyncResult.get()``) turns one hung
+    worker into a hung run — the fault-tolerant scheduler
+    (:func:`repro.dist.faults.run_tasks`) exists so nothing in the
+    distribution layer blocks forever.
     """
 
     name = "exception-hygiene"
     codes = {
         "RPL401": "bare `except:`",
         "RPL402": "broad `except Exception`/`except BaseException`",
+        "RPL403": "blocking pool.map in a distribution module",
+        "RPL404": "AsyncResult.get() without a timeout in a "
+                  "distribution module",
     }
 
     _BROAD = {"Exception", "BaseException"}
+    _POOL_BLOCKING = {"map", "imap", "imap_unordered", "starmap",
+                      "map_async", "starmap_async"}
+    _RESULT_NAMES = ("result", "future", "async", "task")
 
     def _exception_names(self, node: ast.expr | None) -> list[str]:
         if node is None:
@@ -331,6 +342,35 @@ class ExceptionHygieneChecker(Checker):
                     self.flag(node, "RPL402",
                               f"`except {sorted(broad)[0]}` is too broad; "
                               "catch the specific errors (see repro.errors)")
+        self.generic_visit(node)
+
+    def _in_pool_timeout_module(self) -> bool:
+        return any(self.source.module == prefix
+                   or self.source.module.startswith(prefix + ".")
+                   for prefix in self.config.pool_timeout_module_prefixes)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._in_pool_timeout_module():
+            chain = _attr_chain(node.func)
+            if chain is not None and len(chain) >= 2:
+                receiver = chain[-2].lower()
+                method = chain[-1]
+                has_timeout = (bool(node.args) or any(
+                    kw.arg == "timeout" for kw in node.keywords))
+                if method in self._POOL_BLOCKING and "pool" in receiver:
+                    self.flag(node, "RPL403",
+                              f"`{receiver}.{method}(...)` blocks forever "
+                              "if one worker hangs; use "
+                              "repro.dist.faults.run_tasks (timeouts, "
+                              "retries, fault injection)")
+                elif (method == "get" and not has_timeout
+                      and any(tag in receiver
+                              for tag in self._RESULT_NAMES)):
+                    self.flag(node, "RPL404",
+                              f"`{receiver}.get()` without a timeout "
+                              "blocks forever if the worker hangs; pass "
+                              "get(timeout=...) or use "
+                              "repro.dist.faults.run_tasks")
         self.generic_visit(node)
 
 

@@ -84,6 +84,10 @@ class LintConfig:
         {"repro.core.recvec", "repro.core.probability"})
     #: Modules where broad ``except`` clauses are tolerated (none today).
     broad_except_allowed: frozenset[str] = frozenset()
+    #: Module prefixes where unbounded blocking pool calls are forbidden:
+    #: ``pool.map`` and timeout-less ``AsyncResult.get()`` hang the whole
+    #: run when one worker hangs; use the fault-tolerant scheduler.
+    pool_timeout_module_prefixes: tuple[str, ...] = ("repro.dist",)
     #: Module basenames exempt from the ``__all__`` requirement.
     all_exempt_basenames: frozenset[str] = frozenset({"__main__.py"})
     #: Float literals that are exact in binary and legitimate sentinels,

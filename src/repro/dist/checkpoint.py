@@ -6,22 +6,65 @@ generation is naturally restartable at block granularity: this module
 writes one chunk file per group of blocks plus a JSON manifest recording
 which chunks are complete, and a resumed run regenerates only the missing
 chunks — producing bit-identical output to an uninterrupted run.
+
+Crash-safety guarantees (see ``docs/fault_tolerance.md``):
+
+- a chunk becomes visible under its final name only via an atomic rename
+  of a fully-written, fsynced temporary file;
+- the manifest is written via fsync + atomic rename, so power loss never
+  surfaces a truncated ``manifest.json``;
+- on resume, completed chunk files missing from the manifest (a kill in
+  the rename -> manifest window, or a parallel supervisor killed after a
+  worker renamed) are *adopted* after verifying they parse, instead of
+  being regenerated;
+- stale ``*.partial*`` temporaries are swept on resume;
+- an unparsable manifest (torn write on a non-atomic filesystem) is
+  rebuilt by verifying the chunk files on disk rather than aborting.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.generator import RecursiveVectorGenerator
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, FormatError
 from ..formats import get_format
 
-__all__ = ["CheckpointedRun", "CheckpointState"]
+__all__ = ["CheckpointedRun", "CheckpointState",
+           "fsync_file", "fsync_dir"]
 
 _MANIFEST = "manifest.json"
+
+
+def fsync_file(path: Path | str) -> None:
+    """Flush ``path``'s data to stable storage."""
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: Path | str) -> None:
+    """Flush a directory entry (after a rename) to stable storage.
+
+    Best-effort: some platforms/filesystems refuse to fsync a directory
+    handle; a rename there is as durable as it gets.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass
@@ -75,6 +118,7 @@ class CheckpointedRun:
         self.blocks_per_chunk = blocks_per_chunk
         self.out_dir.mkdir(parents=True, exist_ok=True)
         self.state = self._load_or_init()
+        self._recover()
 
     # ------------------------------------------------------------------
 
@@ -88,27 +132,60 @@ class CheckpointedRun:
                                self.blocks_per_chunk)
 
     def _load_or_init(self) -> CheckpointState:
-        if self.manifest_path.exists():
+        if not self.manifest_path.exists():
+            return self._expected_state()
+        try:
             doc = json.loads(self.manifest_path.read_text())
             state = CheckpointState.from_json(doc)
-            expected = self._expected_state()
-            mismatch = (state.scale != expected.scale
-                        or state.num_edges != expected.num_edges
-                        or state.seed != expected.seed
-                        or state.fmt != expected.fmt
-                        or state.blocks_per_chunk
-                        != expected.blocks_per_chunk)
-            if mismatch:
-                raise ConfigurationError(
-                    f"{self.manifest_path} belongs to a different "
-                    "configuration; refusing to mix outputs")
-            return state
-        return self._expected_state()
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Torn manifest (e.g. power loss on a non-atomic filesystem):
+            # re-init; _recover() adopts every chunk file that verifies.
+            return self._expected_state()
+        expected = self._expected_state()
+        mismatch = (state.scale != expected.scale
+                    or state.num_edges != expected.num_edges
+                    or state.seed != expected.seed
+                    or state.fmt != expected.fmt
+                    or state.blocks_per_chunk
+                    != expected.blocks_per_chunk)
+        if mismatch:
+            raise ConfigurationError(
+                f"{self.manifest_path} belongs to a different "
+                "configuration; refusing to mix outputs")
+        return state
+
+    def _recover(self) -> None:
+        """Close the crash windows left by a killed run: sweep stale
+        temporaries, adopt completed-but-unrecorded chunks (verifying
+        they parse), and drop unreadable strays for regeneration."""
+        for stray in self.out_dir.glob("*.partial*"):
+            stray.unlink(missing_ok=True)
+        fmt = get_format(self.fmt)
+        adopted = False
+        for name, _, _ in self.chunk_ranges():
+            if name in self.state.completed:
+                continue
+            path = self.out_dir / name
+            if not path.exists():
+                continue
+            try:
+                edges = fmt.read_edges(path)
+            except (FormatError, OSError, ValueError):
+                path.unlink(missing_ok=True)     # corrupt: regenerate
+                continue
+            self.state.completed[name] = int(edges.shape[0])
+            adopted = True
+        if adopted:
+            self._save()
 
     def _save(self) -> None:
         tmp = self.manifest_path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(self.state.to_json(), indent=2))
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(self.state.to_json(), indent=2))
+            handle.flush()
+            os.fsync(handle.fileno())
         tmp.replace(self.manifest_path)
+        fsync_dir(self.out_dir)
 
     # ------------------------------------------------------------------
 
@@ -135,13 +212,21 @@ class CheckpointedRun:
     def complete(self) -> bool:
         return not self.pending()
 
+    def mark_complete(self, name: str, num_edges: int) -> None:
+        """Record an externally-generated chunk (the parallel supervisor
+        calls this as each worker's chunk lands) and persist the
+        manifest."""
+        self.state.completed[name] = num_edges
+        self._save()
+
     def run(self, max_chunks: int | None = None) -> int:
         """Generate up to ``max_chunks`` pending chunks (all by default).
 
         Returns the number of chunks produced in this call.  Each chunk is
-        written to a temporary file and renamed only when complete, then
-        the manifest is updated — a crash mid-chunk leaves the manifest
-        pointing at only whole chunks.
+        written to a temporary file, fsynced, and renamed only when
+        complete, then the manifest is updated — a crash mid-chunk leaves
+        only whole chunks visible, and a crash between the rename and the
+        manifest update is healed by adoption on the next resume.
         """
         fmt = get_format(self.fmt)
         done = 0
@@ -149,13 +234,14 @@ class CheckpointedRun:
             if max_chunks is not None and done >= max_chunks:
                 break
             final_path = self.out_dir / name
-            tmp_path = self.out_dir / (name + ".partial")
+            tmp_path = self.out_dir / f"{name}.partial.{os.getpid()}"
             result = fmt.write(tmp_path,
                                self.generator.iter_adjacency(lo, hi),
                                self.generator.num_vertices)
+            fsync_file(tmp_path)
             tmp_path.replace(final_path)
-            self.state.completed[name] = result.num_edges
-            self._save()
+            fsync_dir(self.out_dir)
+            self.mark_complete(name, result.num_edges)
             done += 1
         return done
 

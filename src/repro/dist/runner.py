@@ -6,6 +6,16 @@ vertex range and writing its own output part file (the paper's per-worker
 HDFS parts).  Because the AVS generator's randomness is keyed per block,
 the distributed output is bit-identical to a sequential run over the same
 configuration.
+
+Execution is supervised by the fault-tolerance layer
+(:mod:`repro.dist.faults`): each partition runs under a per-attempt
+timeout, crashed or hung workers are killed and retried with backoff, a
+partition whose worker died repeatedly falls back to in-process
+execution, and the full per-task attempt history is recorded on the
+:class:`DistributedResult`.  :meth:`LocalCluster.generate_checkpointed`
+additionally journals every finished chunk into a
+:class:`~repro.dist.checkpoint.CheckpointedRun` manifest, so a killed
+parallel run resumes where it stopped — still bit-identical.
 """
 
 from __future__ import annotations
@@ -17,8 +27,13 @@ from pathlib import Path
 
 import numpy as np
 
+from ..contracts import check_attempt_history, check_worker_result
 from ..core.generator import RecursiveVectorGenerator
+from ..errors import FormatError, WorkerError
 from ..formats import get_format
+from .checkpoint import CheckpointedRun, fsync_dir, fsync_file
+from .faults import (FaultPlan, RetryPolicy, TaskAttempt,
+                     pick_start_method, run_tasks)
 from .partition import Bin, range_partition
 
 __all__ = ["ClusterSpec", "WorkerResult", "DistributedResult",
@@ -57,6 +72,11 @@ class DistributedResult:
     workers: list[WorkerResult] = field(default_factory=list)
     partition_seconds: float = 0.0
     elapsed_seconds: float = 0.0
+    #: task index -> every attempt the scheduler made for it.
+    task_attempts: dict[int, list[TaskAttempt]] = field(
+        default_factory=dict)
+    #: Manifest of the run, when generated via generate_checkpointed.
+    checkpoint: CheckpointedRun | None = None
 
     @property
     def num_edges(self) -> int:
@@ -65,6 +85,18 @@ class DistributedResult:
     @property
     def paths(self) -> list[Path]:
         return [Path(w.path) for w in self.workers]
+
+    @property
+    def num_retries(self) -> int:
+        """Attempts beyond the first, across all tasks."""
+        return sum(max(0, len(a) - 1)
+                   for a in self.task_attempts.values())
+
+    @property
+    def num_fallbacks(self) -> int:
+        """Tasks that completed in-process after worker deaths."""
+        return sum(1 for a in self.task_attempts.values()
+                   if a and a[-1].outcome == "ok" and a[-1].in_process)
 
     @property
     def skew(self) -> float:
@@ -77,7 +109,11 @@ class DistributedResult:
 
 
 def _worker_generate(args: tuple) -> WorkerResult:
-    """Subprocess entry point: generate one vertex range to one part file."""
+    """Subprocess entry point: generate one vertex range to one part file.
+
+    Module-level and driven purely by the picklable ``args`` tuple so it
+    round-trips under both fork and spawn start methods.
+    """
     (worker, start, stop, gen_kwargs, fmt_name, out_path) = args
     t0 = time.perf_counter()
     generator = RecursiveVectorGenerator(**gen_kwargs)
@@ -86,6 +122,25 @@ def _worker_generate(args: tuple) -> WorkerResult:
                        generator.num_vertices)
     return WorkerResult(worker, start, stop, result.num_edges,
                         str(out_path), time.perf_counter() - t0)
+
+
+def _worker_chunk(args: tuple) -> WorkerResult:
+    """Subprocess entry point for one checkpoint chunk: write to a
+    temporary, fsync, and atomically rename — the parent records the
+    chunk in the manifest only after this returns."""
+    (chunk, start, stop, gen_kwargs, fmt_name, final_path) = args
+    t0 = time.perf_counter()
+    generator = RecursiveVectorGenerator(**gen_kwargs)
+    fmt = get_format(fmt_name)
+    final = Path(final_path)
+    tmp = final.with_name(f"{final.name}.partial.{mp.current_process().pid}")
+    result = fmt.write(tmp, generator.iter_adjacency(start, stop),
+                       generator.num_vertices)
+    fsync_file(tmp)
+    tmp.replace(final)
+    fsync_dir(final.parent)
+    return WorkerResult(chunk, start, stop, result.num_edges,
+                        str(final), time.perf_counter() - t0)
 
 
 class LocalCluster:
@@ -98,24 +153,13 @@ class LocalCluster:
             spec = ClusterSpec(machines=1, threads_per_machine=workers)
         self.spec = spec
 
-    def generate_to_files(self, generator: RecursiveVectorGenerator,
-                          out_dir: Path | str,
-                          fmt_name: str = "adj6",
-                          processes: int | None = None
-                          ) -> DistributedResult:
-        """Partition, scatter, and generate part files in parallel.
+    # ------------------------------------------------------------------
 
-        ``processes`` caps the real OS processes (defaults to the logical
-        worker count; the logical partitioning is unaffected).
-        """
-        out_dir = Path(out_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        result = DistributedResult()
-        t0 = time.perf_counter()
-        ranges = range_partition(generator, self.spec.num_workers)
-        result.partition_seconds = time.perf_counter() - t0
-
-        gen_kwargs = dict(
+    @staticmethod
+    def _generator_kwargs(generator: RecursiveVectorGenerator) -> dict:
+        """The picklable recipe a worker needs to rebuild ``generator``
+        (spawn-safe: plain scalars plus the seed matrix)."""
+        return dict(
             scale=generator.scale,
             num_edges=generator.num_edges,
             seed_matrix=generator.seed_matrix,
@@ -127,22 +171,163 @@ class LocalCluster:
             seed=generator.seed,
             block_size=generator.block_size,
         )
-        tasks = [
+
+    def _build_tasks(self, generator: RecursiveVectorGenerator,
+                     out_dir: Path, ranges: list[Bin],
+                     fmt_name: str) -> list[tuple]:
+        gen_kwargs = self._generator_kwargs(generator)
+        return [
             (w, r.start, r.stop, gen_kwargs, fmt_name,
              str(out_dir / f"part-{w:04d}.{fmt_name}"))
             for w, r in enumerate(ranges)
         ]
+
+    @staticmethod
+    def _make_validator(fmt_name: str, faults: FaultPlan | None):
+        """Part-file validator run in the supervisor after each success.
+
+        Existence/size are always checked; a full read-back (edge count
+        vs. the worker's report) runs when fault injection is active,
+        where corrupt output is an expected failure mode.
+        """
+        fmt = get_format(fmt_name)
+        deep = faults is not None and not faults.empty
+
+        def validate(task: tuple, result: WorkerResult) -> None:
+            path = Path(result.path)
+            if not path.exists():
+                raise WorkerError(
+                    f"worker reported success but {path} is missing")
+            if result.num_edges > 0 and path.stat().st_size == 0:
+                raise WorkerError(
+                    f"worker reported {result.num_edges} edges but "
+                    f"{path} is empty")
+            if deep:
+                try:
+                    edges = fmt.read_edges(path)
+                except (FormatError, ValueError, OSError) as exc:
+                    raise WorkerError(
+                        f"{path} is unreadable: {exc}") from exc
+                if edges.shape[0] != result.num_edges:
+                    raise WorkerError(
+                        f"{path} holds {edges.shape[0]} edges, worker "
+                        f"reported {result.num_edges}")
+
+        return validate
+
+    @staticmethod
+    def _pool_size(processes: int | None, num_tasks: int,
+                   logical_workers: int) -> int:
+        if processes is not None:
+            return processes
+        return min(logical_workers, num_tasks, mp.cpu_count())
+
+    def _run_supervised(self, tasks: list[tuple], worker, pool_size: int,
+                        retry: RetryPolicy | None,
+                        faults: FaultPlan | None,
+                        fmt_name: str,
+                        start_method: str | None,
+                        on_result=None,
+                        ) -> tuple[list[WorkerResult],
+                                   dict[int, list[TaskAttempt]]]:
+        """Shared scatter path: resolve policy/faults/context, run the
+        scheduler, and check the per-task contracts."""
+        faults = faults if faults is not None else FaultPlan.from_env()
+        policy = retry if retry is not None else RetryPolicy()
+        ctx = mp.get_context(start_method if start_method is not None
+                             else pick_start_method())
+        results, history = run_tasks(
+            tasks, worker, pool_size=pool_size, policy=policy,
+            faults=faults, validate=self._make_validator(fmt_name, faults),
+            on_result=on_result, mp_context=ctx)
+        for index, task in enumerate(tasks):
+            check_worker_result(results[index],
+                                start=task[1], stop=task[2])
+            check_attempt_history(history[index])
+        return results, history
+
+    # ------------------------------------------------------------------
+
+    def generate_to_files(self, generator: RecursiveVectorGenerator,
+                          out_dir: Path | str,
+                          fmt_name: str = "adj6",
+                          processes: int | None = None, *,
+                          retry: RetryPolicy | None = None,
+                          faults: FaultPlan | None = None,
+                          start_method: str | None = None,
+                          ) -> DistributedResult:
+        """Partition, scatter, and generate part files in parallel.
+
+        ``processes`` caps the real OS processes (defaults to the logical
+        worker count; the logical partitioning is unaffected).  ``retry``
+        and ``faults`` configure the fault-tolerance layer; when
+        ``faults`` is omitted, ``TRILLIONG_FAULT_*`` environment
+        variables are honoured (none set means no injection).
+        ``start_method`` forces ``fork``/``spawn`` (default: fork where
+        available, spawn otherwise).
+        """
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        result = DistributedResult()
         t0 = time.perf_counter()
-        pool_size = processes if processes is not None \
-            else min(self.spec.num_workers, mp.cpu_count())
-        if pool_size <= 1:
-            result.workers = [_worker_generate(t) for t in tasks]
-        else:
-            ctx = mp.get_context("fork")
-            with ctx.Pool(pool_size) as pool:
-                result.workers = pool.map(_worker_generate, tasks)
+        ranges = range_partition(generator, self.spec.num_workers)
+        result.partition_seconds = time.perf_counter() - t0
+
+        tasks = self._build_tasks(generator, out_dir, ranges, fmt_name)
+        t0 = time.perf_counter()
+        pool_size = self._pool_size(processes, len(tasks),
+                                    self.spec.num_workers)
+        result.workers, result.task_attempts = self._run_supervised(
+            tasks, _worker_generate, pool_size, retry, faults, fmt_name,
+            start_method)
         result.elapsed_seconds = (time.perf_counter() - t0
                                   + result.partition_seconds)
+        return result
+
+    def generate_checkpointed(self, generator: RecursiveVectorGenerator,
+                              out_dir: Path | str,
+                              fmt_name: str = "adj6",
+                              blocks_per_chunk: int = 16,
+                              processes: int | None = None, *,
+                              retry: RetryPolicy | None = None,
+                              faults: FaultPlan | None = None,
+                              start_method: str | None = None,
+                              ) -> DistributedResult:
+        """Parallel *and* resumable generation: chunked like
+        :class:`~repro.dist.checkpoint.CheckpointedRun`, scattered like
+        :meth:`generate_to_files`.
+
+        Each finished chunk is recorded in the manifest as it lands, so a
+        killed run (even ``SIGKILL``) resumes from the completed chunks
+        and the final output is bit-identical to an uninterrupted — or a
+        sequential — run of the same configuration.  Returns a
+        :class:`DistributedResult` covering the chunks generated by
+        *this* call, with ``checkpoint`` holding the full manifest view.
+        """
+        run = CheckpointedRun(generator, out_dir, fmt_name,
+                              blocks_per_chunk)
+        pending = run.pending()
+        gen_kwargs = self._generator_kwargs(generator)
+        chunk_index = {name: i for i, (name, _, _)
+                       in enumerate(run.chunk_ranges())}
+        tasks = [
+            (chunk_index[name], lo, hi, gen_kwargs, fmt_name,
+             str(run.out_dir / name))
+            for name, lo, hi in pending
+        ]
+        names = [name for name, _, _ in pending]
+
+        def record(position: int, worker_result: WorkerResult) -> None:
+            run.mark_complete(names[position], worker_result.num_edges)
+
+        result = DistributedResult(checkpoint=run)
+        t0 = time.perf_counter()
+        pool_size = self._pool_size(processes, len(tasks),
+                                    self.spec.num_workers)
+        result.workers, result.task_attempts = self._run_supervised(
+            tasks, _worker_chunk, pool_size, retry, faults, fmt_name,
+            start_method, on_result=record)
+        result.elapsed_seconds = time.perf_counter() - t0
         return result
 
     def read_all_edges(self, result: DistributedResult,

@@ -33,6 +33,7 @@ from ..core.seed import SeedMatrix
 from ..models.rmat import rmat_edge_batch
 from ..util.external_sort import external_sort_unique, write_run
 from ..util.shuffle import hash_partition
+from .faults import FaultPlan, RetryPolicy, pick_start_method, run_tasks
 
 __all__ = ["WespDistributedResult", "run_wesp_distributed"]
 
@@ -92,12 +93,16 @@ def run_wesp_distributed(scale: int, edge_factor: int = 16,
                          num_edges: int | None = None,
                          num_workers: int = 4, epsilon: float = 0.01,
                          seed: int = 0, work_dir: Path | str,
-                         processes: int | None = None
+                         processes: int | None = None,
+                         retry: RetryPolicy | None = None,
+                         faults: FaultPlan | None = None
                          ) -> WespDistributedResult:
     """Run the full WES/p dataflow across worker processes.
 
     ``work_dir`` receives the shuffle runs and the final ``part-*.npy``
-    files (int64 edge arrays).
+    files (int64 edge arrays).  Both phases run under the fault-tolerant
+    scheduler (:func:`repro.dist.faults.run_tasks`), so the baseline
+    enjoys the same retry/timeout supervision as the AVS scatter.
     """
     from ..core.seed import GRAPH500
     seed_matrix = seed_matrix if seed_matrix is not None else GRAPH500
@@ -111,18 +116,17 @@ def run_wesp_distributed(scale: int, edge_factor: int = 16,
     result = WespDistributedResult()
     pool_size = processes if processes is not None \
         else min(num_workers, mp.cpu_count())
+    ctx = mp.get_context(pick_start_method())
+    faults = faults if faults is not None else FaultPlan.from_env()
     map_args = [
         (w, scale, num_edges, seed_matrix.entries.tolist(), seed,
          num_workers, epsilon, str(shuffle_dir))
         for w in range(num_workers)
     ]
     t0 = time.perf_counter()
-    if pool_size <= 1:
-        map_outputs = [_map_task(a) for a in map_args]
-    else:
-        ctx = mp.get_context("fork")
-        with ctx.Pool(pool_size) as pool:
-            map_outputs = pool.map(_map_task, map_args)
+    map_outputs, _ = run_tasks(map_args, _map_task, pool_size=pool_size,
+                               policy=retry, faults=faults,
+                               mp_context=ctx)
     result.generate_seconds = time.perf_counter() - t0
 
     # Group runs by reducer.
@@ -131,12 +135,9 @@ def run_wesp_distributed(scale: int, edge_factor: int = 16,
         runs = [paths[reducer] for paths in map_outputs]
         reduce_args.append((reducer, runs, str(work_dir), scale))
     t0 = time.perf_counter()
-    if pool_size <= 1:
-        reduce_outputs = [_reduce_task(a) for a in reduce_args]
-    else:
-        ctx = mp.get_context("fork")
-        with ctx.Pool(pool_size) as pool:
-            reduce_outputs = pool.map(_reduce_task, reduce_args)
+    reduce_outputs, _ = run_tasks(reduce_args, _reduce_task,
+                                  pool_size=pool_size, policy=retry,
+                                  faults=faults, mp_context=ctx)
     result.merge_seconds = time.perf_counter() - t0
 
     for path, count in reduce_outputs:

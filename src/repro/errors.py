@@ -16,6 +16,8 @@ __all__ = [
     "OutOfMemoryError",
     "CapacityError",
     "GenerationError",
+    "WorkerError",
+    "TaskTimeout",
     "ContractViolation",
 ]
 
@@ -60,6 +62,34 @@ class CapacityError(TrillionGError, RuntimeError):
 class GenerationError(TrillionGError, RuntimeError):
     """Edge generation failed to converge (e.g. a scope could not reach its
     requested size because the scope is smaller than the requested count)."""
+
+
+class WorkerError(TrillionGError, RuntimeError):
+    """A distributed worker task failed permanently.
+
+    Raised by the fault-tolerant scheduler (:mod:`repro.dist.faults`) once
+    a task has exhausted its retry budget, or by output validation when a
+    worker reported success but its part file is missing/corrupt.  Carries
+    the task index and the full per-attempt history so callers can see
+    every crash, timeout, and fallback that led here.
+    """
+
+    def __init__(self, message: str, *, task_index: int | None = None,
+                 attempts: tuple = ()) -> None:
+        super().__init__(message)
+        self.task_index = task_index
+        self.attempts = tuple(attempts)
+
+
+class TaskTimeout(WorkerError):
+    """A worker task exceeded its per-attempt wall-clock budget on every
+    allowed attempt (the hung process is killed before each retry)."""
+
+    def __init__(self, message: str, *, task_index: int | None = None,
+                 attempts: tuple = (),
+                 timeout_seconds: float | None = None) -> None:
+        super().__init__(message, task_index=task_index, attempts=attempts)
+        self.timeout_seconds = timeout_seconds
 
 
 class ContractViolation(TrillionGError, AssertionError):

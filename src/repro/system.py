@@ -12,6 +12,8 @@ import numpy as np
 
 from .core.generator import IdeaToggles, RecursiveVectorGenerator
 from .core.seed import GRAPH500, SeedMatrix
+from .dist.checkpoint import CheckpointedRun
+from .dist.faults import FaultPlan, RetryPolicy
 from .dist.runner import ClusterSpec, DistributedResult, LocalCluster
 from .formats import WriteResult, get_format
 
@@ -52,13 +54,17 @@ class TrillionG:
                  ideas: IdeaToggles | None = None,
                  seed: int = 0,
                  block_size: int = 4096,
-                 cluster: ClusterSpec | None = None) -> None:
+                 cluster: ClusterSpec | None = None,
+                 retry: RetryPolicy | None = None,
+                 faults: FaultPlan | None = None) -> None:
         self.generator = RecursiveVectorGenerator(
             scale, edge_factor,
             seed_matrix if seed_matrix is not None else GRAPH500,
             num_edges=num_edges, noise=noise, engine=engine, ideas=ideas,
             seed=seed, block_size=block_size)
         self.cluster = cluster
+        self.retry = retry
+        self.faults = faults
 
     @property
     def num_vertices(self) -> int:
@@ -73,14 +79,23 @@ class TrillionG:
         return self.generator.edges()
 
     def generate_to(self, path: Path | str, fmt: str = "adj6",
-                    processes: int | None = None) -> TrillionGResult:
+                    processes: int | None = None, *,
+                    resume: bool = False,
+                    blocks_per_chunk: int = 16) -> TrillionGResult:
         """Generate to disk.
 
         Without a cluster, writes one file sequentially.  With a cluster,
         runs the Figure 6 partitioner and writes one part file per worker
-        into the directory ``path``.
+        into the directory ``path``.  With ``resume=True``, generation is
+        checkpointed into the directory ``path`` (one chunk file per
+        ``blocks_per_chunk`` blocks plus a manifest) and a killed run can
+        simply be re-invoked: only missing chunks are regenerated, and
+        the final output is bit-identical either way.
         """
         import time
+        if resume:
+            return self._generate_resumable(path, fmt, processes,
+                                            blocks_per_chunk)
         if self.cluster is None:
             t0 = time.perf_counter()
             writer = get_format(fmt)
@@ -92,8 +107,37 @@ class TrillionG:
                                    elapsed)
         runner = LocalCluster(self.cluster)
         dist: DistributedResult = runner.generate_to_files(
-            self.generator, path, fmt, processes=processes)
+            self.generator, path, fmt, processes=processes,
+            retry=self.retry, faults=self.faults)
         total_bytes = sum(p.stat().st_size for p in dist.paths)
         return TrillionGResult(dist.paths, self.num_vertices,
                                dist.num_edges, total_bytes,
+                               dist.elapsed_seconds, dist.skew)
+
+    def _generate_resumable(self, path: Path | str, fmt: str,
+                            processes: int | None,
+                            blocks_per_chunk: int) -> TrillionGResult:
+        """Checkpointed generation: sequential without a cluster, the
+        supervised parallel scatter with one."""
+        import time
+        if self.cluster is None:
+            t0 = time.perf_counter()
+            run = CheckpointedRun(self.generator, path, fmt,
+                                  blocks_per_chunk)
+            run.run()
+            elapsed = time.perf_counter() - t0
+            paths = run.chunk_paths()
+            return TrillionGResult(paths, self.num_vertices,
+                                   run.num_edges,
+                                   sum(p.stat().st_size for p in paths),
+                                   elapsed)
+        runner = LocalCluster(self.cluster)
+        dist = runner.generate_checkpointed(
+            self.generator, path, fmt, blocks_per_chunk,
+            processes=processes, retry=self.retry, faults=self.faults)
+        run = dist.checkpoint
+        assert run is not None
+        paths = run.chunk_paths()
+        return TrillionGResult(paths, self.num_vertices, run.num_edges,
+                               sum(p.stat().st_size for p in paths),
                                dist.elapsed_seconds, dist.skew)

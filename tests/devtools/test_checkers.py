@@ -305,3 +305,50 @@ def test_skip_file_pragma(tmp_path):
             "import random\n\ndef f(x=[]):\n    return x\n")
     path = write_module(tmp_path, "snippet", code)
     assert lint_file(path) == []
+
+
+# ---------------------------------------------------------------------------
+# exception-hygiene: pool-timeout rules (RPL403/RPL404)
+# ---------------------------------------------------------------------------
+
+POOL_FLAG = [
+    ("results = pool.map(work, tasks)\n", ["RPL403"]),
+    ("for r in self.pool.imap_unordered(work, tasks):\n    pass\n",
+     ["RPL403"]),
+    ("out = worker_pool.starmap(work, tasks)\n", ["RPL403"]),
+    ("value = result.get()\n", ["RPL404"]),
+    ("async_result.get()\n", ["RPL404"]),
+]
+
+POOL_PASS = [
+    "value = result.get(timeout=30)\n",
+    "value = result.get(5)\n",              # positional timeout
+    "option = mapping.get('key')\n",        # not a result object
+    "pool.close()\n",                       # not a blocking scatter
+]
+
+
+@pytest.mark.parametrize("code,expected", POOL_FLAG)
+def test_pool_timeout_flags_in_dist(tmp_path, code, expected):
+    found = run(tmp_path, "exception-hygiene", code,
+                module="repro.dist.snippet")
+    assert codes(found) == expected, found
+
+
+@pytest.mark.parametrize("code,expected", POOL_FLAG)
+def test_pool_timeout_ignored_outside_dist(tmp_path, code, expected):
+    assert run(tmp_path, "exception-hygiene", code) == []
+
+
+@pytest.mark.parametrize("code", POOL_PASS)
+def test_pool_timeout_passes_in_dist(tmp_path, code):
+    assert run(tmp_path, "exception-hygiene", code,
+               module="repro.dist.snippet") == []
+
+
+def test_pool_timeout_prefixes_configurable(tmp_path):
+    config = config_with(pool_timeout_module_prefixes=("mypkg",))
+    found = run(tmp_path, "exception-hygiene",
+                "pool.map(work, tasks)\n", module="mypkg.runner",
+                config=config)
+    assert codes(found) == ["RPL403"]

@@ -93,3 +93,54 @@ class TestLocalCluster:
         res = DistributedResult()
         assert res.num_edges == 0
         assert res.skew == 1.0
+
+
+class TestGenerateCheckpointed:
+    def make_generator(self, **kw):
+        defaults = dict(scale=10, edge_factor=8, seed=5, block_size=64)
+        defaults.update(kw)
+        scale = defaults.pop("scale")
+        ef = defaults.pop("edge_factor")
+        return RecursiveVectorGenerator(scale, ef, **defaults)
+
+    def test_parallel_checkpointed_bit_identical(self, tmp_path):
+        from repro.dist.faults import FaultPlan
+        g = self.make_generator()
+        cluster = LocalCluster(num_workers=2)
+        res = cluster.generate_checkpointed(g, tmp_path,
+                                            blocks_per_chunk=2,
+                                            processes=2,
+                                            faults=FaultPlan())
+        assert res.checkpoint is not None and res.checkpoint.complete
+        merged = cluster.read_all_edges(res, "adj6")
+        seq = self.make_generator().edges()
+        np.testing.assert_array_equal(sort_edges(merged),
+                                      sort_edges(seq))
+
+    def test_resume_after_completion_is_noop(self, tmp_path):
+        from repro.dist.faults import FaultPlan
+        cluster = LocalCluster(num_workers=2)
+        cluster.generate_checkpointed(self.make_generator(), tmp_path,
+                                      blocks_per_chunk=2, processes=2,
+                                      faults=FaultPlan())
+        again = cluster.generate_checkpointed(self.make_generator(),
+                                              tmp_path,
+                                              blocks_per_chunk=2,
+                                              processes=2,
+                                              faults=FaultPlan())
+        assert again.workers == []          # nothing left to generate
+        assert again.checkpoint.complete
+
+    def test_clean_run_attempt_history(self, tmp_path):
+        """Without injected faults every task completes on attempt 1."""
+        from repro.dist.faults import FaultPlan
+        cluster = LocalCluster(num_workers=3)
+        res = cluster.generate_to_files(self.make_generator(), tmp_path,
+                                        "adj6", processes=2,
+                                        faults=FaultPlan())
+        assert set(res.task_attempts) == {0, 1, 2}
+        assert res.num_retries == 0
+        assert res.num_fallbacks == 0
+        for trail in res.task_attempts.values():
+            assert [a.attempt for a in trail] == [1]
+            assert trail[0].outcome == "ok"
