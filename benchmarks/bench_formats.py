@@ -6,14 +6,31 @@ and checks the paper's qualitative claims: binary formats are faster and
 smaller than TSV at scale (here sizes invert only because small-scale ids
 are short — the size ordering at realistic id widths is asserted in
 ``tests/formats``).
+
+Two artifacts matter beyond the printed tables:
+
+- ``test_block_adj6_beats_per_vertex`` is the CI perf-smoke gate for the
+  block-streaming output path: encoding whole ``AdjacencyBlock``s must
+  beat the per-vertex ``writer.add`` loop at scale 18.
+- ``test_emit_bench_json`` writes ``BENCH_formats.json`` at the repo root
+  (scale, format, engine, edges/s, MB/s, pipeline on/off) so later PRs
+  have a perf trajectory to compare against.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.core.generator import RecursiveVectorGenerator
-from repro.formats import get_format, write_many
+from repro.formats import NO_PIPELINE_ENV, get_format, write_many
 
 SCALE = 13
+SMOKE_SCALE = 18
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="module")
@@ -21,26 +38,48 @@ def generator():
     return RecursiveVectorGenerator(SCALE, 16, seed=9)
 
 
+def _throughput_row(fmt_name, result, seconds):
+    mb = result.bytes_written / 2**20
+    return [fmt_name, result.num_edges,
+            f"{result.num_edges / seconds:,.0f}",
+            f"{mb / seconds:.1f}"]
+
+
 @pytest.mark.parametrize("fmt_name", ["tsv", "adj6", "csr6"])
-def test_write_throughput(benchmark, generator, fmt_name, tmp_path):
+def test_write_throughput(benchmark, generator, fmt_name, tmp_path, table):
     fmt = get_format(fmt_name)
 
     def write():
-        return fmt.write(tmp_path / f"w.{fmt_name}",
-                         generator.iter_adjacency(),
-                         generator.num_vertices)
+        t0 = time.perf_counter()
+        result = fmt.write_blocks(tmp_path / f"w.{fmt_name}",
+                                  generator.iter_blocks(),
+                                  generator.num_vertices)
+        return result, time.perf_counter() - t0
 
-    result = benchmark.pedantic(write, rounds=3, iterations=1)
+    result, seconds = benchmark.pedantic(write, rounds=3, iterations=1)
+    table(f"Write throughput ({fmt_name}, scale {SCALE}, block path)",
+          ["format", "edges", "edges/s", "MB/s"],
+          [_throughput_row(fmt_name, result, seconds)])
     assert result.num_edges > 100000
 
 
 @pytest.mark.parametrize("fmt_name", ["tsv", "adj6", "csr6"])
-def test_read_throughput(benchmark, generator, fmt_name, tmp_path):
+def test_read_throughput(benchmark, generator, fmt_name, tmp_path, table):
     fmt = get_format(fmt_name)
     path = tmp_path / f"r.{fmt_name}"
-    fmt.write(path, generator.iter_adjacency(), generator.num_vertices)
-    edges = benchmark.pedantic(lambda: fmt.read_edges(path), rounds=3,
-                               iterations=1)
+    written = fmt.write_blocks(path, generator.iter_blocks(),
+                               generator.num_vertices)
+
+    def read():
+        t0 = time.perf_counter()
+        edges = fmt.read_edges(path)
+        return edges, time.perf_counter() - t0
+
+    edges, seconds = benchmark.pedantic(read, rounds=3, iterations=1)
+    table(f"Read throughput ({fmt_name}, scale {SCALE})",
+          ["format", "edges", "edges/s", "MB/s"],
+          [[fmt_name, edges.shape[0], f"{edges.shape[0] / seconds:,.0f}",
+            f"{written.bytes_written / 2**20 / seconds:.1f}"]])
     assert edges.shape[0] > 100000
 
 
@@ -54,31 +93,33 @@ def test_format_write_times_comparable(benchmark, generator, tmp_path,
     ADJ6-vs-TSV gap via disk bandwidth — is asserted in
     ``tests/formats`` at realistic id widths.
     """
-    import time
 
     def run():
-        times = {}
+        rows = {}
         for name in ("tsv", "adj6", "csr6"):
             fmt = get_format(name)
             t0 = time.perf_counter()
-            fmt.write(tmp_path / f"cmp.{name}",
-                      generator.iter_adjacency(),
-                      generator.num_vertices)
-            times[name] = time.perf_counter() - t0
-        return times
+            result = fmt.write_blocks(tmp_path / f"cmp.{name}",
+                                      generator.iter_blocks(),
+                                      generator.num_vertices)
+            rows[name] = (time.perf_counter() - t0, result)
+        return rows
 
-    times = benchmark.pedantic(run, rounds=1, iterations=1)
-    table("Format write seconds (scale 13, includes generation)",
-          ["format", "seconds"],
-          [[k, round(v, 4)] for k, v in times.items()])
-    assert max(times.values()) < 5 * min(times.values())
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(f"Format write seconds (scale {SCALE}, includes generation)",
+          ["format", "seconds", "edges/s", "MB/s"],
+          [[name, round(seconds, 4),
+            f"{result.num_edges / seconds:,.0f}",
+            f"{result.bytes_written / 2**20 / seconds:.1f}"]
+           for name, (seconds, result) in rows.items()])
+    times = [seconds for seconds, _ in rows.values()]
+    assert max(times) < 5 * min(times)
 
 
 def test_multi_write_cheaper_than_separate(benchmark, generator,
                                            tmp_path):
     """One teed pass vs three separate passes: the tee must win (it
     generates once instead of three times)."""
-    import time
 
     def run():
         t0 = time.perf_counter()
@@ -96,3 +137,95 @@ def test_multi_write_cheaper_than_separate(benchmark, generator,
 
     teed, separate = benchmark.pedantic(run, rounds=1, iterations=1)
     assert teed < separate
+
+
+def _time_per_vertex(fmt, path, blocks, num_vertices):
+    """The pre-block baseline: one ``writer.add`` call per vertex."""
+    writer = fmt.open_writer(path, num_vertices)
+    t0 = time.perf_counter()
+    with writer:
+        for block in blocks:
+            for u, vs in block.iter_adjacency():
+                writer.add(u, vs)
+    return time.perf_counter() - t0, writer.result
+
+
+def _time_blocks(fmt, path, blocks, num_vertices):
+    writer = fmt.open_writer(path, num_vertices)
+    t0 = time.perf_counter()
+    with writer:
+        for block in blocks:
+            writer.add_block(block)
+    return time.perf_counter() - t0, writer.result
+
+
+def test_block_adj6_beats_per_vertex(tmp_path, table):
+    """CI perf smoke: the vectorized block encoder must beat the
+    per-vertex loop on the write path (generation excluded) — and the
+    two must produce byte-identical files.
+    """
+    gen = RecursiveVectorGenerator(SMOKE_SCALE, 16, seed=9)
+    blocks = list(gen.iter_blocks())
+    fmt = get_format("adj6")
+    per_vertex_s, pv_result = _time_per_vertex(
+        fmt, tmp_path / "pv.adj6", blocks, gen.num_vertices)
+    block_s, blk_result = _time_blocks(
+        fmt, tmp_path / "blk.adj6", blocks, gen.num_vertices)
+    speedup = per_vertex_s / block_s
+    table(f"ADJ6 write path (scale {SMOKE_SCALE}, generation excluded)",
+          ["path", "seconds", "edges/s", "MB/s"],
+          [["per-vertex", round(per_vertex_s, 3),
+            f"{pv_result.num_edges / per_vertex_s:,.0f}",
+            f"{pv_result.bytes_written / 2**20 / per_vertex_s:.1f}"],
+           ["block", round(block_s, 3),
+            f"{blk_result.num_edges / block_s:,.0f}",
+            f"{blk_result.bytes_written / 2**20 / block_s:.1f}"],
+           ["speedup", f"{speedup:.1f}x", "", ""]])
+    assert (tmp_path / "pv.adj6").read_bytes() == \
+        (tmp_path / "blk.adj6").read_bytes()
+    assert speedup > 2.0, (
+        f"block ADJ6 only {speedup:.2f}x over per-vertex at scale "
+        f"{SMOKE_SCALE}; the vectorized encoder regressed")
+
+
+def test_emit_bench_json(tmp_path, table):
+    """Record the perf trajectory: edges/s and MB/s for every format with
+    the write pipeline on and off, from the WriteResult's own timing
+    fields, into ``BENCH_formats.json`` at the repo root."""
+    gen = RecursiveVectorGenerator(SCALE, 16, seed=9)
+    blocks = list(gen.iter_blocks())
+    records = []
+    for fmt_name in ("adj6", "csr6", "tsv"):
+        fmt = get_format(fmt_name)
+        for pipeline in (True, False):
+            env_value = "" if pipeline else "1"
+            old = os.environ.get(NO_PIPELINE_ENV)
+            os.environ[NO_PIPELINE_ENV] = env_value
+            try:
+                label = "on" if pipeline else "off"
+                _, result = _time_blocks(
+                    fmt, tmp_path / f"{fmt_name}.{label}", blocks,
+                    gen.num_vertices)
+            finally:
+                if old is None:
+                    del os.environ[NO_PIPELINE_ENV]
+                else:
+                    os.environ[NO_PIPELINE_ENV] = old
+            records.append({
+                "scale": SCALE,
+                "format": fmt_name,
+                "engine": gen.engine,
+                "pipeline": "on" if pipeline else "off",
+                "edges_per_second": round(result.edges_per_second),
+                "mb_per_second": round(
+                    result.bytes_per_second / 2**20, 2),
+                "encode_seconds": round(result.encode_seconds, 4),
+                "write_seconds": round(result.write_seconds, 4),
+            })
+    out_path = _REPO_ROOT / "BENCH_formats.json"
+    out_path.write_text(json.dumps(records, indent=2) + "\n")
+    table(f"BENCH_formats.json (scale {SCALE}, engine {gen.engine})",
+          ["format", "pipeline", "edges/s", "MB/s"],
+          [[r["format"], r["pipeline"], f"{r['edges_per_second']:,}",
+            r["mb_per_second"]] for r in records])
+    assert all(r["edges_per_second"] > 0 for r in records)

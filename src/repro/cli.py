@@ -232,7 +232,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
           f"|E|={result.num_edges} "
           f"bytes={result.bytes_written} "
           f"elapsed={result.elapsed_seconds:.2f}s "
-          f"skew={result.skew:.3f}")
+          f"skew={result.skew:.3f} "
+          f"edges/s={result.edges_per_second:,.0f} "
+          f"MB/s={result.bytes_per_second / 2**20:.1f} "
+          f"(encode={result.encode_seconds:.2f}s "
+          f"write={result.write_seconds:.2f}s)")
     for p in result.paths:
         print(f"  {p}")
     return 0
@@ -454,8 +458,8 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         if args.output is None:
             raise SystemExit("--rescale requires --output")
         generator = scaler.generator(args.rescale, seed=args.seed)
-        result = fmt.write(args.output, generator.iter_adjacency(),
-                           generator.num_vertices)
+        result = fmt.write_blocks(args.output, generator.iter_blocks(),
+                                  generator.num_vertices)
         print(f"rescaled to scale {args.rescale}: "
               f"{result.num_edges} edges -> {result.path}")
     return 0

@@ -1,4 +1,4 @@
-"""The six project-specific ``reprolint`` checkers.
+"""The seven project-specific ``reprolint`` checkers.
 
 Each checker guards one invariant the paper's correctness argument relies
 on; ``docs/static_analysis.md`` documents the catalogue in prose.
@@ -12,6 +12,8 @@ numerical-safety    RPL301+  no float ``==`` on probabilities, no
                              Decimal->float round-trips on precision paths
 exception-hygiene   RPL401+  no bare/broad ``except`` outside the allowlist
 api-completeness    RPL501+  every module declares a consistent ``__all__``
+block-streaming     RPL505+  producers feed writers whole blocks, never
+                             per-vertex ``writer.add`` loops
 mutable-defaults    RPL601   no mutable default arguments
 ==================  =======  ==================================================
 """
@@ -28,6 +30,7 @@ __all__ = [
     "NumericalSafetyChecker",
     "ExceptionHygieneChecker",
     "ApiCompletenessChecker",
+    "BlockStreamingChecker",
     "MutableDefaultsChecker",
 ]
 
@@ -486,6 +489,76 @@ class ApiCompletenessChecker(Checker):
                 if not node.name.startswith("_"):
                     defs[node.name] = node
         return defs
+
+
+@register_checker
+class BlockStreamingChecker(Checker):
+    """Producers must feed writers whole ``AdjacencyBlock``s.
+
+    The output path's throughput comes from the vectorized block
+    encoders (``StreamWriter.add_block`` / ``GraphFormat.write_blocks``);
+    a per-vertex ``writer.add(...)`` loop — or handing ``write(...)`` an
+    ``iter_adjacency()`` pair stream — reinserts the 2^scale-call Python
+    loop between the engines and the disk that this layer exists to
+    remove.  Enforced in the producer layers
+    (``block_streaming_module_prefixes``); the formats package itself may
+    use ``add`` as the compatibility fallback.
+    """
+
+    name = "block-streaming"
+    codes = {
+        "RPL505": "per-vertex writer.add(...) loop in a producer module",
+        "RPL506": "write(...) fed an iter_adjacency() pair stream",
+    }
+
+    def __init__(self, source, config) -> None:
+        super().__init__(source, config)
+        self._loop_depth = 0
+
+    def _in_producer_module(self) -> bool:
+        return any(self.source.module == prefix
+                   or self.source.module.startswith(prefix + ".")
+                   for prefix in self.config.block_streaming_module_prefixes)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    def _visit_loop(self, node: ast.For | ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._in_producer_module():
+            chain = _attr_chain(node.func)
+            if chain is not None and len(chain) >= 2:
+                receiver = chain[-2].lower()
+                method = chain[-1]
+                if (method == "add" and self._loop_depth > 0
+                        and "writer" in receiver):
+                    self.flag(node, "RPL505",
+                              f"per-vertex `{receiver}.add(...)` loop; "
+                              "feed whole blocks via add_block/"
+                              "write_blocks (iter_blocks) instead")
+                elif method == "write" and self._feeds_pair_stream(node):
+                    self.flag(node, "RPL506",
+                              f"`{receiver}.write(iter_adjacency(...))` "
+                              "re-batches pairs the generator already "
+                              "produced as blocks; use "
+                              "write_blocks(iter_blocks(...))")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _feeds_pair_stream(node: ast.Call) -> bool:
+        for arg in node.args:
+            if isinstance(arg, ast.Call):
+                chain = _attr_chain(arg.func)
+                if chain and chain[-1] == "iter_adjacency":
+                    return True
+        return False
 
 
 @register_checker

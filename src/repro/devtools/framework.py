@@ -97,6 +97,11 @@ class LintConfig:
     #: CDF value for the float-equality rule.
     probability_name_patterns: tuple[str, ...] = (
         "prob", "cdf", "recvec", "pvec")
+    #: Module prefixes where producers must feed writers whole
+    #: ``AdjacencyBlock``s (``add_block``/``write_blocks``), never
+    #: per-vertex ``writer.add(...)`` loops or pair-stream ``write``.
+    block_streaming_module_prefixes: tuple[str, ...] = (
+        "repro.system", "repro.dist")
 
 
 @dataclass

@@ -235,9 +235,9 @@ class CheckpointedRun:
                 break
             final_path = self.out_dir / name
             tmp_path = self.out_dir / f"{name}.partial.{os.getpid()}"
-            result = fmt.write(tmp_path,
-                               self.generator.iter_adjacency(lo, hi),
-                               self.generator.num_vertices)
+            result = fmt.write_blocks(tmp_path,
+                                      self.generator.iter_blocks(lo, hi),
+                                      self.generator.num_vertices)
             fsync_file(tmp_path)
             tmp_path.replace(final_path)
             fsync_dir(self.out_dir)

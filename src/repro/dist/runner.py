@@ -63,6 +63,10 @@ class WorkerResult:
     num_edges: int
     path: str
     elapsed_seconds: float
+    #: Wall time this worker spent encoding blocks into format bytes.
+    encode_seconds: float = 0.0
+    #: Wall time this worker spent inside ``file.write``.
+    write_seconds: float = 0.0
 
 
 @dataclass
@@ -99,6 +103,23 @@ class DistributedResult:
                    if a and a[-1].outcome == "ok" and a[-1].in_process)
 
     @property
+    def encode_seconds(self) -> float:
+        """Total encode wall time summed across workers."""
+        return sum(w.encode_seconds for w in self.workers)
+
+    @property
+    def write_seconds(self) -> float:
+        """Total ``file.write`` wall time summed across workers."""
+        return sum(w.write_seconds for w in self.workers)
+
+    @property
+    def edges_per_second(self) -> float:
+        """End-to-end edge throughput of the run (0 when untimed)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.num_edges / self.elapsed_seconds
+
+    @property
     def skew(self) -> float:
         """Max worker edge count over the mean — the load-balance metric
         the Figure 6 partitioner is designed to keep near 1."""
@@ -118,10 +139,12 @@ def _worker_generate(args: tuple) -> WorkerResult:
     t0 = time.perf_counter()
     generator = RecursiveVectorGenerator(**gen_kwargs)
     fmt = get_format(fmt_name)
-    result = fmt.write(out_path, generator.iter_adjacency(start, stop),
-                       generator.num_vertices)
+    result = fmt.write_blocks(out_path, generator.iter_blocks(start, stop),
+                              generator.num_vertices)
     return WorkerResult(worker, start, stop, result.num_edges,
-                        str(out_path), time.perf_counter() - t0)
+                        str(out_path), time.perf_counter() - t0,
+                        encode_seconds=result.encode_seconds,
+                        write_seconds=result.write_seconds)
 
 
 def _worker_chunk(args: tuple) -> WorkerResult:
@@ -134,13 +157,15 @@ def _worker_chunk(args: tuple) -> WorkerResult:
     fmt = get_format(fmt_name)
     final = Path(final_path)
     tmp = final.with_name(f"{final.name}.partial.{mp.current_process().pid}")
-    result = fmt.write(tmp, generator.iter_adjacency(start, stop),
-                       generator.num_vertices)
+    result = fmt.write_blocks(tmp, generator.iter_blocks(start, stop),
+                              generator.num_vertices)
     fsync_file(tmp)
     tmp.replace(final)
     fsync_dir(final.parent)
     return WorkerResult(chunk, start, stop, result.num_edges,
-                        str(final), time.perf_counter() - t0)
+                        str(final), time.perf_counter() - t0,
+                        encode_seconds=result.encode_seconds,
+                        write_seconds=result.write_seconds)
 
 
 class LocalCluster:

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.rng import stream
 from ..core.seed import SeedMatrix
+from ..formats import block_from_edges, get_format
 from ..models.rmat import rmat_edge_batch
 from ..util.external_sort import external_sort_unique, write_run
 from ..util.shuffle import hash_partition
@@ -77,14 +78,26 @@ def _map_task(args: tuple) -> list[str]:
 
 
 def _reduce_task(args: tuple) -> tuple[str, int]:
-    """Merger process: external-merge this reducer's runs into a part."""
-    (reducer, run_paths, out_dir, scale) = args
+    """Merger process: external-merge this reducer's runs into a part.
+
+    With ``fmt_name`` set, the part is written through the block-streaming
+    format path (the sorted unique keys are already grouped by source, so
+    they form one :class:`~repro.core.generator.AdjacencyBlock`); with
+    ``None`` the historical ``.npy`` edge-array part is produced.
+    """
+    (reducer, run_paths, out_dir, scale, fmt_name) = args
     unique = external_sort_unique([Path(p) for p in run_paths])
     num_vertices = np.int64(1 << scale)
-    part_path = Path(out_dir) / f"part-{reducer:04d}.npy"
     edges = np.column_stack([unique // num_vertices,
                              unique % num_vertices])
-    np.save(part_path, edges)
+    if fmt_name is None:
+        part_path = Path(out_dir) / f"part-{reducer:04d}.npy"
+        np.save(part_path, edges)
+    else:
+        fmt = get_format(fmt_name)
+        part_path = Path(out_dir) / f"part-{reducer:04d}.{fmt_name}"
+        fmt.write_blocks(part_path, [block_from_edges(edges)],
+                         int(num_vertices))
     return str(part_path), int(edges.shape[0])
 
 
@@ -95,14 +108,18 @@ def run_wesp_distributed(scale: int, edge_factor: int = 16,
                          seed: int = 0, work_dir: Path | str,
                          processes: int | None = None,
                          retry: RetryPolicy | None = None,
-                         faults: FaultPlan | None = None
+                         faults: FaultPlan | None = None,
+                         fmt_name: str | None = None
                          ) -> WespDistributedResult:
     """Run the full WES/p dataflow across worker processes.
 
-    ``work_dir`` receives the shuffle runs and the final ``part-*.npy``
-    files (int64 edge arrays).  Both phases run under the fault-tolerant
-    scheduler (:func:`repro.dist.faults.run_tasks`), so the baseline
-    enjoys the same retry/timeout supervision as the AVS scatter.
+    ``work_dir`` receives the shuffle runs and the final part files:
+    ``part-*.npy`` int64 edge arrays by default, or graph-format parts
+    written through the block-streaming path when ``fmt_name`` names a
+    registered format (``"adj6"``/``"csr6"``/``"tsv"``).  Both phases run
+    under the fault-tolerant scheduler
+    (:func:`repro.dist.faults.run_tasks`), so the baseline enjoys the
+    same retry/timeout supervision as the AVS scatter.
     """
     from ..core.seed import GRAPH500
     seed_matrix = seed_matrix if seed_matrix is not None else GRAPH500
@@ -133,7 +150,7 @@ def run_wesp_distributed(scale: int, edge_factor: int = 16,
     reduce_args = []
     for reducer in range(num_workers):
         runs = [paths[reducer] for paths in map_outputs]
-        reduce_args.append((reducer, runs, str(work_dir), scale))
+        reduce_args.append((reducer, runs, str(work_dir), scale, fmt_name))
     t0 = time.perf_counter()
     reduce_outputs, _ = run_tasks(reduce_args, _reduce_task,
                                   pool_size=pool_size, policy=retry,

@@ -1,14 +1,31 @@
-"""Graph output formats: TSV, ADJ6, and CSR6 (Section 5)."""
+"""Graph output formats: TSV, ADJ6, and CSR6 (Section 5).
+
+The write path is block-streaming: whole
+:class:`~repro.core.generator.AdjacencyBlock`s are encoded with
+vectorized numpy buffer assembly and pushed to disk through a pipelined
+background writer (see ``docs/formats.md``).
+"""
 
 from .adj6 import Adj6Format
 from .base import (GraphFormat, StreamWriter, WriteResult,
-                   available_formats, get_format, register_format)
+                   available_formats, block_from_edges,
+                   blocks_from_adjacency, decode_id6, encode_id6,
+                   get_format, id6_byte_view, register_format)
 from .csr6 import Csr6Format
-from .multi import write_many
+from .multi import write_many, write_many_blocks
+from .pipeline import (DEFAULT_PIPELINE_DEPTH, NO_PIPELINE_ENV,
+                       PIPELINE_DEPTH_ENV, DirectSink, ThreadedSink,
+                       WriteSink, open_sink, pipeline_depth,
+                       pipeline_enabled)
 from .tsv import TsvFormat
 
 __all__ = [
     "Adj6Format", "Csr6Format", "TsvFormat", "GraphFormat", "WriteResult",
     "available_formats", "get_format", "register_format", "StreamWriter",
-    "write_many",
+    "write_many", "write_many_blocks",
+    "block_from_edges", "blocks_from_adjacency",
+    "encode_id6", "decode_id6", "id6_byte_view",
+    "NO_PIPELINE_ENV", "PIPELINE_DEPTH_ENV", "DEFAULT_PIPELINE_DEPTH",
+    "WriteSink", "DirectSink", "ThreadedSink", "open_sink",
+    "pipeline_enabled", "pipeline_depth",
 ]

@@ -2,15 +2,21 @@
 
 TrillionG supports three formats: the edge-list text format (TSV), the
 6-byte adjacency-list binary format (ADJ6), and the 6-byte Compressed
-Sparse Row binary format (CSR6).  Writers consume a stream of
-``(vertex, neighbours)`` pairs (the natural AVS output — neighbours of each
-vertex are generated on the same worker); readers provide both full-edge
-materialization and adjacency streaming, and are used by tests and the
-example applications.
+Sparse Row binary format (CSR6).  The unit of the write path is the
+:class:`~repro.core.generator.AdjacencyBlock` — the CSR-like triplet the
+AVS engines produce natively — so whole blocks are encoded with
+vectorized numpy buffer assembly and hit the disk as one ``write()``
+each (see ``docs/formats.md``).  ``(vertex, neighbours)`` pairs remain
+supported as the compatibility surface: :meth:`StreamWriter.add` is the
+per-vertex fallback, and :meth:`GraphFormat.write` batches pair streams
+into blocks internally.  Readers provide both full-edge materialization
+and adjacency streaming, and are used by tests and the example
+applications.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
@@ -18,53 +24,124 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..core.generator import AdjacencyBlock
 from ..errors import FormatError
+from .pipeline import WriteSink
 
-__all__ = ["WriteResult", "GraphFormat", "StreamWriter", "register_format", "get_format",
-           "available_formats", "SIX_BYTES", "encode_id6", "decode_id6"]
+__all__ = ["WriteResult", "GraphFormat", "StreamWriter", "register_format",
+           "get_format", "available_formats", "SIX_BYTES", "encode_id6",
+           "decode_id6", "id6_byte_view", "blocks_from_adjacency",
+           "block_from_edges"]
 
 #: Width of a vertex ID in the binary formats.  6 bytes covers 2^48
 #: vertices — the paper's minimum for trillion-scale graphs.
 SIX_BYTES = 6
 
+#: Sources per block when batching a ``(vertex, neighbours)`` pair stream
+#: into :class:`AdjacencyBlock` units for the vectorized encoders.
+_PAIR_BATCH = 4096
+
 
 @dataclass(frozen=True)
 class WriteResult:
-    """Outcome of writing a graph file."""
+    """Outcome of writing a graph file, with throughput observability.
+
+    ``encode_seconds`` is wall time spent turning adjacency into format
+    bytes; ``write_seconds`` is wall time inside ``file.write`` (measured
+    in the background thread when the pipeline is on, so encode and write
+    time may overlap); ``elapsed_seconds`` is writer-open to close.
+    """
 
     path: Path
     num_vertices: int
     num_edges: int
     bytes_written: int
+    encode_seconds: float = 0.0
+    write_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def edges_per_second(self) -> float:
+        """Edge throughput over the writer's lifetime (0 when untimed)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.num_edges / self.elapsed_seconds
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Byte throughput over the writer's lifetime (0 when untimed)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.bytes_written / self.elapsed_seconds
 
 
 class StreamWriter(ABC):
-    """Incremental writer: feed ``(vertex, neighbours)`` pairs one at a
-    time, then :meth:`close` to finalize the file.
+    """Incremental writer: feed whole :class:`AdjacencyBlock`s (fast
+    path) or ``(vertex, neighbours)`` pairs (fallback), then
+    :meth:`close` to finalize the file.
 
     Enables single-pass teeing of one generation stream into several
-    formats (see :func:`repro.formats.multi.write_many`) without
-    buffering the graph.
+    formats (see :func:`repro.formats.multi.write_many_blocks`) without
+    buffering the graph.  ``close`` is idempotent; the first call
+    finalizes the file and caches its :class:`WriteResult` in
+    :attr:`result`, which context-manager use also populates so the
+    outcome of a ``with`` block is never lost.
     """
 
     def __init__(self, path: Path | str, num_vertices: int) -> None:
         self.path = Path(path)
         self.num_vertices = num_vertices
         self.num_edges = 0
+        #: Set by the first :meth:`close` (including via ``with``).
+        self.result: WriteResult | None = None
+        #: Wall time spent encoding blocks into format bytes.
+        self.encode_seconds = 0.0
+        self._opened_at = time.perf_counter()
 
     @abstractmethod
     def add(self, vertex: int, neighbours: np.ndarray) -> None:
-        """Append one vertex's adjacency."""
+        """Append one vertex's adjacency (per-vertex fallback path)."""
+
+    def add_block(self, block: AdjacencyBlock) -> None:
+        """Append one generated block.
+
+        Format writers override this with a vectorized whole-block
+        encoder; the base implementation falls back to per-vertex
+        :meth:`add` calls and produces byte-identical output.
+        """
+        for vertex, neighbours in block.iter_adjacency():
+            self.add(vertex, neighbours)
 
     @abstractmethod
+    def _finalize(self) -> WriteResult:
+        """Flush, close the file, and build the :class:`WriteResult`."""
+
     def close(self) -> WriteResult:
-        """Finalize the file and return the outcome."""
+        """Finalize the file and return the outcome (idempotent)."""
+        if self.result is None:
+            self.result = self._finalize()
+        return self.result
+
+    def _sink_write_seconds(self) -> float:
+        sink: WriteSink | None = getattr(self, "_sink", None)
+        return sink.write_seconds if sink is not None else 0.0
+
+    def _build_result(self, bytes_written: int,
+                      extra_write_seconds: float = 0.0) -> WriteResult:
+        """Assemble the :class:`WriteResult` with the timing fields."""
+        return WriteResult(
+            self.path, self.num_vertices, self.num_edges, bytes_written,
+            encode_seconds=self.encode_seconds,
+            write_seconds=self._sink_write_seconds() + extra_write_seconds,
+            elapsed_seconds=time.perf_counter() - self._opened_at)
 
     def __enter__(self) -> "StreamWriter":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
+            # Normal path: errors propagate and the WriteResult is
+            # recorded on self.result rather than silently dropped.
             self.close()
         else:
             # Best effort: release the handle; the partial file remains.
@@ -87,14 +164,33 @@ class GraphFormat(ABC):
                     num_vertices: int) -> StreamWriter:
         """Open an incremental writer for this format."""
 
+    def write_blocks(self, path: Path | str,
+                     blocks: Iterable[AdjacencyBlock],
+                     num_vertices: int) -> WriteResult:
+        """Write a stream of :class:`AdjacencyBlock`s to ``path``.
+
+        This is the fast path: each block is encoded as one buffer and
+        written in bulk (pipelined with generation unless
+        ``TRILLIONG_NO_PIPELINE=1``).
+        """
+        writer = self.open_writer(path, num_vertices)
+        with writer:
+            for block in blocks:
+                writer.add_block(block)
+        assert writer.result is not None
+        return writer.result
+
     def write(self, path: Path | str,
               adjacency: Iterable[tuple[int, np.ndarray]],
               num_vertices: int) -> WriteResult:
-        """Write ``(vertex, neighbours)`` pairs to ``path``."""
-        writer = self.open_writer(path, num_vertices)
-        for u, vs in adjacency:
-            writer.add(int(u), np.asarray(vs, dtype=np.int64))
-        return writer.close()
+        """Write ``(vertex, neighbours)`` pairs to ``path``.
+
+        The pair stream is batched into blocks internally so it still
+        takes the vectorized encoder path; output is byte-identical to
+        per-vertex :meth:`StreamWriter.add` calls.
+        """
+        return self.write_blocks(path, blocks_from_adjacency(adjacency),
+                                 num_vertices)
 
     @abstractmethod
     def iter_adjacency(self, path: Path | str
@@ -120,20 +216,57 @@ class GraphFormat(ABC):
         edges = np.asarray(edges, dtype=np.int64)
         order = np.argsort(edges[:, 0] * np.int64(num_vertices)
                            + edges[:, 1], kind="stable")
-        edges = edges[order]
-        return self.write(path, _group_by_source(edges), num_vertices)
+        block = block_from_edges(edges[order])
+        return self.write_blocks(path, [block], num_vertices)
 
 
-def _group_by_source(sorted_edges: np.ndarray
-                     ) -> Iterator[tuple[int, np.ndarray]]:
+def block_from_edges(sorted_edges: np.ndarray) -> AdjacencyBlock:
+    """Group source-sorted ``(m, 2)`` edges into one :class:`AdjacencyBlock`."""
+    sorted_edges = np.asarray(sorted_edges, dtype=np.int64)
     if sorted_edges.shape[0] == 0:
-        return
-    sources = sorted_edges[:, 0]
-    boundaries = np.nonzero(np.diff(sources))[0] + 1
+        return AdjacencyBlock(np.empty(0, dtype=np.int64),
+                              np.zeros(1, dtype=np.int64),
+                              np.empty(0, dtype=np.int64))
+    sources_all = sorted_edges[:, 0]
+    boundaries = np.nonzero(np.diff(sources_all))[0] + 1
     starts = np.concatenate([[0], boundaries])
-    stops = np.concatenate([boundaries, [sorted_edges.shape[0]]])
-    for lo, hi in zip(starts, stops):
-        yield int(sources[lo]), sorted_edges[lo:hi, 1]
+    offsets = np.concatenate([starts, [sorted_edges.shape[0]]])
+    return AdjacencyBlock(sources_all[starts].copy(),
+                          offsets.astype(np.int64),
+                          np.ascontiguousarray(sorted_edges[:, 1]))
+
+
+def blocks_from_adjacency(adjacency: Iterable[tuple[int, np.ndarray]],
+                          batch_size: int = _PAIR_BATCH
+                          ) -> Iterator[AdjacencyBlock]:
+    """Batch a ``(vertex, neighbours)`` pair stream into blocks.
+
+    The compatibility shim between the legacy pair surface and the
+    vectorized block encoders: pairs are buffered in arrival order and
+    flushed every ``batch_size`` sources.
+    """
+    sources: list[int] = []
+    lists: list[np.ndarray] = []
+    for u, vs in adjacency:
+        sources.append(int(u))
+        lists.append(np.asarray(vs, dtype=np.int64))
+        if len(sources) >= batch_size:
+            yield _pairs_to_block(sources, lists)
+            sources, lists = [], []
+    if sources:
+        yield _pairs_to_block(sources, lists)
+
+
+def _pairs_to_block(sources: list[int],
+                    lists: list[np.ndarray]) -> AdjacencyBlock:
+    counts = np.fromiter((v.size for v in lists), dtype=np.int64,
+                         count=len(lists))
+    offsets = np.zeros(len(lists) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    destinations = (np.concatenate(lists) if lists
+                    else np.empty(0, dtype=np.int64))
+    return AdjacencyBlock(np.array(sources, dtype=np.int64), offsets,
+                          destinations)
 
 
 _REGISTRY: dict[str, GraphFormat] = {}
@@ -160,13 +293,27 @@ def available_formats() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def encode_id6(values: np.ndarray) -> bytes:
-    """Encode int64 vertex IDs as packed little-endian 6-byte integers."""
+def id6_byte_view(values: np.ndarray) -> np.ndarray:
+    """Vertex IDs as an ``(n, 6)`` uint8 array of little-endian 6-byte
+    integers (the numpy byte-view trick behind the block encoders: view
+    int64 as bytes, stride-slice the low six).
+
+    Rejects IDs outside ``[0, 2^48)`` — truncating would silently alias
+    vertices.
+    """
     arr = np.ascontiguousarray(values, dtype="<i8")
     if arr.size and (arr.min() < 0 or arr.max() >= 1 << 48):
         raise FormatError("vertex id out of 6-byte range")
-    as_bytes = arr.view(np.uint8).reshape(-1, 8)
-    return as_bytes[:, :SIX_BYTES].tobytes()
+    return arr.view(np.uint8).reshape(-1, 8)[:, :SIX_BYTES]
+
+
+def encode_id6(values: np.ndarray) -> bytes:
+    """Encode int64 vertex IDs as packed little-endian 6-byte integers.
+
+    IDs outside ``[0, 2^48)`` raise :class:`~repro.errors.FormatError`
+    rather than being truncated.
+    """
+    return id6_byte_view(values).tobytes()
 
 
 def decode_id6(data: bytes) -> np.ndarray:

@@ -1,10 +1,13 @@
 """Write several formats in one generation pass.
 
 Generation dominates cost, so producing TSV + ADJ6 + CSR6 outputs should
-not triple it: :func:`write_many` tees one adjacency stream into an open
-:class:`~repro.formats.base.StreamWriter` per format, replaying each
-``(vertex, neighbours)`` pair into all of them without re-generating or
-buffering the graph.
+not triple it: :func:`write_many_blocks` tees one block stream into an
+open :class:`~repro.formats.base.StreamWriter` per format, replaying each
+:class:`~repro.core.generator.AdjacencyBlock` into all of them without
+re-generating or buffering the graph.  :func:`write_many` is the
+``(vertex, neighbours)`` pair-stream compatibility surface; it batches
+pairs into blocks internally so every format still takes its vectorized
+encoder.
 """
 
 from __future__ import annotations
@@ -14,21 +17,23 @@ from typing import Iterable
 
 import numpy as np
 
+from ..core.generator import AdjacencyBlock
 from ..errors import FormatError
-from .base import WriteResult, get_format
+from .base import WriteResult, blocks_from_adjacency, get_format
 
-__all__ = ["write_many"]
+__all__ = ["write_many", "write_many_blocks"]
 
 
-def write_many(adjacency: Iterable[tuple[int, np.ndarray]],
-               num_vertices: int,
-               outputs: dict[str, Path | str]) -> dict[str, WriteResult]:
-    """Tee one adjacency stream into multiple format writers.
+def write_many_blocks(blocks: Iterable[AdjacencyBlock],
+                      num_vertices: int,
+                      outputs: dict[str, Path | str]
+                      ) -> dict[str, WriteResult]:
+    """Tee one :class:`AdjacencyBlock` stream into multiple format writers.
 
     Parameters
     ----------
-    adjacency:
-        The ``(vertex, neighbours)`` stream (consumed exactly once).
+    blocks:
+        The block stream (consumed exactly once).
     outputs:
         Mapping from format name to output path, e.g.
         ``{"adj6": "g.adj6", "tsv": "g.tsv"}``.
@@ -38,15 +43,14 @@ def write_many(adjacency: Iterable[tuple[int, np.ndarray]],
     Mapping from format name to that writer's :class:`WriteResult`.
     """
     if not outputs:
-        raise ValueError("write_many needs at least one output")
+        raise ValueError("write_many_blocks needs at least one output")
     writers = {name: get_format(name).open_writer(path, num_vertices)
                for name, path in outputs.items()}
     results: dict[str, WriteResult] = {}
     try:
-        for u, vs in adjacency:
-            vs = np.asarray(vs, dtype=np.int64)
+        for block in blocks:
             for writer in writers.values():
-                writer.add(int(u), vs)
+                writer.add_block(block)
         for name, writer in writers.items():
             results[name] = writer.close()
         return results
@@ -61,3 +65,17 @@ def write_many(adjacency: Iterable[tuple[int, np.ndarray]],
                         writer.close()
                     except (OSError, FormatError):
                         pass
+
+
+def write_many(adjacency: Iterable[tuple[int, np.ndarray]],
+               num_vertices: int,
+               outputs: dict[str, Path | str]) -> dict[str, WriteResult]:
+    """Tee one ``(vertex, neighbours)`` stream into multiple format writers.
+
+    Pairs are batched into blocks internally (see
+    :func:`repro.formats.base.blocks_from_adjacency`), so output is
+    byte-identical to per-vertex ``add`` calls while every writer still
+    runs its vectorized block encoder.
+    """
+    return write_many_blocks(blocks_from_adjacency(adjacency),
+                             num_vertices, outputs)

@@ -51,10 +51,26 @@ class GenerationReport:
     duplicates_discarded: int = 0
     peak_memory_bytes: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Bytes the run wrote to disk (0 for in-memory-only runs).
+    bytes_written: int = 0
 
     @property
     def elapsed_seconds(self) -> float:
         return sum(self.phase_seconds.values())
+
+    @property
+    def edges_per_second(self) -> float:
+        """Realized edge throughput over all phases (0 when untimed)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.realized_edges / self.elapsed_seconds
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Output byte throughput over all phases (0 when untimed)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.bytes_written / self.elapsed_seconds
 
     def time_phase(self, name: str):
         """Context manager recording a named phase's wall time."""

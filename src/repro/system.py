@@ -22,7 +22,12 @@ __all__ = ["TrillionG", "TrillionGResult"]
 
 @dataclass
 class TrillionGResult:
-    """Outcome of a TrillionG run."""
+    """Outcome of a TrillionG run.
+
+    ``encode_seconds``/``write_seconds`` break the output cost into
+    format encoding vs. ``file.write`` wall time (summed across workers
+    for distributed runs; the two overlap when the write pipeline is on).
+    """
 
     paths: list[Path]
     num_vertices: int
@@ -30,6 +35,22 @@ class TrillionGResult:
     bytes_written: int
     elapsed_seconds: float
     skew: float = 1.0
+    encode_seconds: float = 0.0
+    write_seconds: float = 0.0
+
+    @property
+    def edges_per_second(self) -> float:
+        """End-to-end edge throughput (0 when untimed)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.num_edges / self.elapsed_seconds
+
+    @property
+    def bytes_per_second(self) -> float:
+        """End-to-end byte throughput (0 when untimed)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.bytes_written / self.elapsed_seconds
 
 
 class TrillionG:
@@ -99,12 +120,14 @@ class TrillionG:
         if self.cluster is None:
             t0 = time.perf_counter()
             writer = get_format(fmt)
-            result: WriteResult = writer.write(
-                path, self.generator.iter_adjacency(), self.num_vertices)
+            result: WriteResult = writer.write_blocks(
+                path, self.generator.iter_blocks(), self.num_vertices)
             elapsed = time.perf_counter() - t0
             return TrillionGResult([Path(path)], self.num_vertices,
                                    result.num_edges, result.bytes_written,
-                                   elapsed)
+                                   elapsed,
+                                   encode_seconds=result.encode_seconds,
+                                   write_seconds=result.write_seconds)
         runner = LocalCluster(self.cluster)
         dist: DistributedResult = runner.generate_to_files(
             self.generator, path, fmt, processes=processes,
@@ -112,7 +135,9 @@ class TrillionG:
         total_bytes = sum(p.stat().st_size for p in dist.paths)
         return TrillionGResult(dist.paths, self.num_vertices,
                                dist.num_edges, total_bytes,
-                               dist.elapsed_seconds, dist.skew)
+                               dist.elapsed_seconds, dist.skew,
+                               encode_seconds=dist.encode_seconds,
+                               write_seconds=dist.write_seconds)
 
     def _generate_resumable(self, path: Path | str, fmt: str,
                             processes: int | None,

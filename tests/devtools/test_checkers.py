@@ -352,3 +352,53 @@ def test_pool_timeout_prefixes_configurable(tmp_path):
                 "pool.map(work, tasks)\n", module="mypkg.runner",
                 config=config)
     assert codes(found) == ["RPL403"]
+
+
+# ---------------------------------------------------------------------------
+# block-streaming (RPL505/RPL506)
+# ---------------------------------------------------------------------------
+
+BLOCK_FLAG = [
+    ("for u, vs in gen.iter_adjacency():\n    writer.add(u, vs)\n",
+     ["RPL505"]),
+    ("while pairs:\n    u, vs = pairs.pop()\n    self.writer.add(u, vs)\n",
+     ["RPL505"]),
+    ("result = fmt.write(path, gen.iter_adjacency(lo, hi), nv)\n",
+     ["RPL506"]),
+]
+
+BLOCK_PASS = [
+    "for block in gen.iter_blocks():\n    writer.add_block(block)\n",
+    "result = fmt.write_blocks(path, gen.iter_blocks(lo, hi), nv)\n",
+    "writer.add(u, vs)\n",                       # not in a loop
+    "for item in items:\n    bag.add(item)\n",   # not a writer
+    "fmt.write(path, pairs, nv)\n",              # not an iter_adjacency feed
+]
+
+
+@pytest.mark.parametrize("code,expected", BLOCK_FLAG)
+def test_block_streaming_flags_in_producers(tmp_path, code, expected):
+    found = run(tmp_path, "block-streaming", code,
+                module="repro.dist.snippet")
+    assert codes(found) == expected, found
+
+
+@pytest.mark.parametrize("code,expected", BLOCK_FLAG)
+def test_block_streaming_ignored_outside_producers(tmp_path, code, expected):
+    # The formats package itself keeps per-vertex `add` as the fallback.
+    assert run(tmp_path, "block-streaming", code,
+               module="repro.formats.snippet") == []
+
+
+@pytest.mark.parametrize("code", BLOCK_PASS)
+def test_block_streaming_passes_in_producers(tmp_path, code):
+    assert run(tmp_path, "block-streaming", code,
+               module="repro.system") == []
+
+
+def test_block_streaming_prefixes_configurable(tmp_path):
+    config = config_with(block_streaming_module_prefixes=("mypkg",))
+    found = run(tmp_path, "block-streaming",
+                "for u, vs in g.iter_adjacency():\n    writer.add(u, vs)\n",
+                module="mypkg.producer", config=config)
+    assert codes(found) == ["RPL505"]

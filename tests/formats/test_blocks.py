@@ -1,0 +1,301 @@
+"""The block-streaming output path: vectorized encoders, the write
+pipeline, and the context-manager / range-check satellites.
+
+The load-bearing property is byte-identity: for every format, feeding
+whole :class:`AdjacencyBlock`s through ``add_block`` (pipeline on or
+off) must produce exactly the bytes the per-vertex ``add`` fallback
+produces — including degree-0 vertices, empty blocks, partial first/last
+blocks, and the AVS-I flipped direction.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RecursiveVectorGenerator
+from repro.core.generator import AdjacencyBlock
+from repro.errors import FormatError
+from repro.formats import (NO_PIPELINE_ENV, ThreadedSink, WriteResult,
+                           block_from_edges, blocks_from_adjacency,
+                           get_format, id6_byte_view, write_many,
+                           write_many_blocks)
+
+FORMATS = ["adj6", "csr6", "tsv"]
+
+
+def make_generator(scale=10, **kwargs):
+    kwargs.setdefault("seed", 5)
+    kwargs.setdefault("block_size", 128)
+    return RecursiveVectorGenerator(scale, 8, **kwargs)
+
+
+def per_vertex_bytes(fmt_name, path, blocks, num_vertices):
+    """Reference output: the per-vertex ``add`` fallback."""
+    writer = get_format(fmt_name).open_writer(path, num_vertices)
+    with writer:
+        for block in blocks:
+            for u, vs in block.iter_adjacency():
+                writer.add(u, vs)
+    return path.read_bytes()
+
+
+def block_bytes(fmt_name, path, blocks, num_vertices):
+    writer = get_format(fmt_name).open_writer(path, num_vertices)
+    with writer:
+        for block in blocks:
+            writer.add_block(block)
+    return path.read_bytes()
+
+
+def hand_block(sources, lists):
+    counts = [len(vs) for vs in lists]
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    dests = (np.concatenate([np.asarray(vs, dtype=np.int64)
+                             for vs in lists])
+             if any(counts) else np.empty(0, dtype=np.int64))
+    return AdjacencyBlock(np.array(sources, dtype=np.int64), offsets,
+                          dests)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("fmt_name", FORMATS)
+    def test_generated_blocks(self, fmt_name, tmp_path):
+        gen = make_generator()
+        blocks = list(gen.iter_blocks())
+        expected = per_vertex_bytes(fmt_name, tmp_path / "pv", blocks,
+                                    gen.num_vertices)
+        assert block_bytes(fmt_name, tmp_path / "blk", blocks,
+                           gen.num_vertices) == expected
+
+    @pytest.mark.parametrize("fmt_name", FORMATS)
+    def test_degree_zero_vertices(self, fmt_name, tmp_path):
+        blocks = [hand_block([0, 1, 2, 3, 4],
+                             [[1, 2], [], [0, 3, 4], [], []]),
+                  hand_block([5, 6, 7], [[], [0], []])]
+        expected = per_vertex_bytes(fmt_name, tmp_path / "pv", blocks, 8)
+        assert block_bytes(fmt_name, tmp_path / "blk", blocks, 8) \
+            == expected
+
+    @pytest.mark.parametrize("fmt_name", FORMATS)
+    def test_empty_blocks(self, fmt_name, tmp_path):
+        empty = hand_block([], [])
+        blocks = [empty, hand_block([2], [[0, 1]]), empty]
+        expected = per_vertex_bytes(fmt_name, tmp_path / "pv", blocks, 4)
+        assert block_bytes(fmt_name, tmp_path / "blk", blocks, 4) \
+            == expected
+
+    @pytest.mark.parametrize("fmt_name", FORMATS)
+    def test_all_degree_zero(self, fmt_name, tmp_path):
+        blocks = [hand_block([0, 1, 2], [[], [], []])]
+        expected = per_vertex_bytes(fmt_name, tmp_path / "pv", blocks, 3)
+        assert block_bytes(fmt_name, tmp_path / "blk", blocks, 3) \
+            == expected
+
+    @pytest.mark.parametrize("fmt_name", FORMATS)
+    def test_partial_first_and_last_blocks(self, fmt_name, tmp_path):
+        """iter_blocks(start, stop) slices mid-block on both ends."""
+        gen = make_generator()
+        start, stop = 37, gen.num_vertices - 41
+        blocks = list(gen.iter_blocks(start, stop))
+        expected = per_vertex_bytes(fmt_name, tmp_path / "pv", blocks,
+                                    gen.num_vertices)
+        assert block_bytes(fmt_name, tmp_path / "blk", blocks,
+                           gen.num_vertices) == expected
+
+    @pytest.mark.parametrize("fmt_name", FORMATS)
+    def test_avs_in_direction(self, fmt_name, tmp_path):
+        gen = make_generator(direction="in")
+        blocks = list(gen.iter_blocks())
+        expected = per_vertex_bytes(fmt_name, tmp_path / "pv", blocks,
+                                    gen.num_vertices)
+        assert block_bytes(fmt_name, tmp_path / "blk", blocks,
+                           gen.num_vertices) == expected
+
+    @pytest.mark.parametrize("fmt_name", FORMATS)
+    def test_pipeline_on_off_equivalence(self, fmt_name, tmp_path,
+                                         monkeypatch):
+        gen = make_generator()
+        blocks = list(gen.iter_blocks())
+        monkeypatch.delenv(NO_PIPELINE_ENV, raising=False)
+        piped = block_bytes(fmt_name, tmp_path / "on", blocks,
+                            gen.num_vertices)
+        monkeypatch.setenv(NO_PIPELINE_ENV, "1")
+        direct = block_bytes(fmt_name, tmp_path / "off", blocks,
+                             gen.num_vertices)
+        assert piped == direct
+
+    def test_write_pairs_matches_blocks(self, tmp_path):
+        """GraphFormat.write (the pair surface) batches into blocks and
+        stays byte-identical to the native block path."""
+        gen = make_generator()
+        fmt = get_format("adj6")
+        fmt.write(tmp_path / "pairs", gen.iter_adjacency(),
+                  gen.num_vertices)
+        fmt.write_blocks(tmp_path / "blocks", gen.iter_blocks(),
+                         gen.num_vertices)
+        assert (tmp_path / "pairs").read_bytes() == \
+            (tmp_path / "blocks").read_bytes()
+
+    def test_write_many_blocks_matches_pairs(self, tmp_path):
+        gen = make_generator()
+        write_many_blocks(gen.iter_blocks(), gen.num_vertices,
+                          {n: tmp_path / f"b.{n}" for n in FORMATS})
+        write_many(gen.iter_adjacency(), gen.num_vertices,
+                   {n: tmp_path / f"p.{n}" for n in FORMATS})
+        for n in FORMATS:
+            assert (tmp_path / f"b.{n}").read_bytes() == \
+                (tmp_path / f"p.{n}").read_bytes()
+
+
+class TestBlockHelpers:
+    def test_block_from_edges_groups_sources(self):
+        edges = np.array([[0, 1], [0, 2], [2, 0], [5, 3]], dtype=np.int64)
+        block = block_from_edges(edges)
+        assert block.sources.tolist() == [0, 2, 5]
+        assert block.offsets.tolist() == [0, 2, 3, 4]
+        assert block.destinations.tolist() == [1, 2, 0, 3]
+
+    def test_block_from_edges_empty(self):
+        block = block_from_edges(np.empty((0, 2), dtype=np.int64))
+        assert block.sources.size == 0
+        assert block.num_edges == 0
+
+    def test_blocks_from_adjacency_batches(self):
+        pairs = [(u, np.array([u + 1], dtype=np.int64))
+                 for u in range(10)]
+        blocks = list(blocks_from_adjacency(iter(pairs), batch_size=4))
+        assert [b.sources.size for b in blocks] == [4, 4, 2]
+        assert sum(b.num_edges for b in blocks) == 10
+
+    def test_id6_byte_view_rejects_out_of_range(self):
+        with pytest.raises(FormatError):
+            id6_byte_view(np.array([1 << 48], dtype=np.int64))
+        with pytest.raises(FormatError):
+            id6_byte_view(np.array([-1], dtype=np.int64))
+
+
+class TestWriterContract:
+    def test_exit_records_result_on_normal_path(self, tmp_path):
+        """Satellite: the WriteResult of a ``with`` block is never lost."""
+        writer = get_format("adj6").open_writer(tmp_path / "g.adj6", 4)
+        with writer:
+            writer.add(0, np.array([1, 2], dtype=np.int64))
+        assert isinstance(writer.result, WriteResult)
+        assert writer.result.num_edges == 2
+        assert writer.result.bytes_written == \
+            (tmp_path / "g.adj6").stat().st_size
+
+    @pytest.mark.parametrize("fmt_name", FORMATS)
+    def test_close_idempotent(self, fmt_name, tmp_path):
+        writer = get_format(fmt_name).open_writer(tmp_path / "g", 4)
+        writer.add(1, np.array([0, 2], dtype=np.int64))
+        first = writer.close()
+        assert writer.close() is first
+
+    def test_exit_preserves_inflight_exception(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with get_format("adj6").open_writer(tmp_path / "g", 4) as w:
+                w.add(0, np.array([1], dtype=np.int64))
+                raise RuntimeError("boom")
+
+    def test_throughput_fields_populated(self, tmp_path):
+        gen = make_generator()
+        result = get_format("adj6").write_blocks(
+            tmp_path / "g.adj6", gen.iter_blocks(), gen.num_vertices)
+        assert result.elapsed_seconds > 0
+        assert result.edges_per_second > 0
+        assert result.bytes_per_second > 0
+        assert result.encode_seconds >= 0
+
+    def test_untimed_result_reports_zero_throughput(self, tmp_path):
+        result = WriteResult(tmp_path / "x", 1, 10, 100)
+        assert result.edges_per_second == 0.0
+        assert result.bytes_per_second == 0.0
+
+
+class TestDegreeRange:
+    def test_add_rejects_degree_over_uint32(self, tmp_path):
+        writer = get_format("adj6").open_writer(tmp_path / "g", 4)
+        huge = np.broadcast_to(np.int64(0), ((1 << 32) + 1,))
+        with pytest.raises(FormatError, match="degree"):
+            writer.add(0, huge)
+        writer.close()
+
+    def test_add_block_rejects_degree_over_uint32(self, tmp_path):
+        n = (1 << 32) + 1
+        block = AdjacencyBlock(
+            np.array([3], dtype=np.int64),
+            np.array([0, n], dtype=np.int64),
+            np.broadcast_to(np.int64(0), (n,)))
+        writer = get_format("adj6").open_writer(tmp_path / "g", 4)
+        with pytest.raises(FormatError, match="vertex 3"):
+            writer.add_block(block)
+        writer.close()
+
+
+class TestCsr6BlockValidation:
+    def test_rejects_unsorted_row_inside_block(self, tmp_path):
+        block = hand_block([0, 1], [[2, 1], [0]])
+        writer = get_format("csr6").open_writer(tmp_path / "g", 4)
+        with pytest.raises(FormatError, match="vertex 0"):
+            writer.add_block(block)
+        writer.close()
+
+    def test_allows_descent_at_row_boundary(self, tmp_path):
+        # 0 -> [5, 7], 1 -> [2]: the 7 -> 2 drop is a legal boundary.
+        block = hand_block([0, 1], [[5, 7], [2]])
+        writer = get_format("csr6").open_writer(tmp_path / "g.csr6", 8)
+        writer.add_block(block)
+        writer.close()
+        indptr, indices = get_format("csr6").read_csr(tmp_path / "g.csr6")
+        assert indices.tolist() == [5, 7, 2]
+
+    def test_rejects_nonincreasing_sources_across_blocks(self, tmp_path):
+        writer = get_format("csr6").open_writer(tmp_path / "g", 8)
+        writer.add_block(hand_block([4], [[1]]))
+        with pytest.raises(FormatError, match="increasing"):
+            writer.add_block(hand_block([4], [[2]]))
+        writer.close()
+
+    def test_rejects_out_of_range_vertex(self, tmp_path):
+        writer = get_format("csr6").open_writer(tmp_path / "g", 4)
+        with pytest.raises(FormatError, match="range"):
+            writer.add_block(hand_block([9], [[0]]))
+        writer.close()
+
+    def test_leading_degree_zero_rows(self, tmp_path):
+        # Regression: boundary mask must not wrap around offsets[1:]-1
+        # when the first rows are empty.
+        block = hand_block([0, 1, 2], [[], [], [3, 1]])
+        writer = get_format("csr6").open_writer(tmp_path / "g", 4)
+        with pytest.raises(FormatError, match="vertex 2"):
+            writer.add_block(block)
+        writer.close()
+
+
+class TestThreadedSink:
+    def test_write_error_reraised_to_producer(self, tmp_path):
+        path = tmp_path / "f.bin"
+        handle = open(path, "wb")
+        sink = ThreadedSink(handle, depth=2)
+        handle.close()                      # next write hits a dead file
+        with pytest.raises(ValueError):
+            for _ in range(100):            # must not deadlock
+                sink.write(b"x")
+                sink.drain()
+        sink.close()
+
+    def test_write_after_close_rejected(self, tmp_path):
+        with open(tmp_path / "f.bin", "wb") as handle:
+            sink = ThreadedSink(handle, depth=2)
+            sink.close()
+            with pytest.raises(ValueError):
+                sink.write(b"x")
+
+    def test_preserves_order(self, tmp_path):
+        path = tmp_path / "f.bin"
+        with open(path, "wb") as handle:
+            sink = ThreadedSink(handle, depth=3)
+            for i in range(50):
+                sink.write(bytes([i]))
+            sink.close()
+        assert path.read_bytes() == bytes(range(50))
