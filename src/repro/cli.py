@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "crash to continue where it stopped")
     gen.add_argument("--blocks-per-chunk", type=int, default=16,
                      help="checkpoint granularity with --resume")
+    gen.add_argument("--metrics-out", default=None,
+                     help="write the run's telemetry report (metrics + "
+                          "span tree, merged across workers) as JSON")
+    gen.add_argument("--progress", action="store_true",
+                     help="live progress line on stderr "
+                          "(edges/s, ETA, pipeline queue depth)")
 
     rich = sub.add_parser("rich",
                           help="generate a rich (gMark-style) graph")
@@ -225,9 +231,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                    _parse_matrix(args.matrix), noise=args.noise,
                    engine=args.engine, seed=args.seed, cluster=cluster,
                    retry=retry)
+    reporter = None
+    if args.progress:
+        from .telemetry import ProgressReporter
+        reporter = ProgressReporter(total_edges=tg.num_edges)
     result = tg.generate_to(args.output, fmt=args.format,
                             resume=args.resume,
-                            blocks_per_chunk=args.blocks_per_chunk)
+                            blocks_per_chunk=args.blocks_per_chunk,
+                            progress=reporter)
+    if reporter is not None:
+        reporter.finish()
+    if args.metrics_out is not None:
+        from .telemetry import write_json_report
+        write_json_report(args.metrics_out, result.telemetry)
     print(f"generated |V|={result.num_vertices} "
           f"|E|={result.num_edges} "
           f"bytes={result.bytes_written} "
@@ -484,6 +500,8 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .telemetry import configure_logging
+    configure_logging()
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

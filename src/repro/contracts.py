@@ -38,6 +38,7 @@ __all__ = [
     "check_partition_cover",
     "check_worker_result",
     "check_attempt_history",
+    "check_write_result",
 ]
 
 #: Environment variable consulted when no programmatic override is set.
@@ -156,6 +157,41 @@ def check_worker_result(result: object, *, start: int | None = None,
         _fail(f"worker result: bad edge count {num_edges!r}")
     if path is not None and not os.path.exists(str(path)):
         _fail(f"worker result: output file {path} does not exist")
+
+
+def check_write_result(result: object, *, overlapped: bool,
+                       tol: float = 1e-6) -> None:
+    """Assert a write result's timing decomposition is coherent: encode
+    and write time each fit inside the writer's open-to-close window,
+    and — when the disk sink is synchronous (``overlapped=False``) — the
+    two components together fit as well, since they cannot run
+    concurrently.  With the pipelined sink the background thread's write
+    time legitimately overlaps encode time, so only the per-component
+    bounds apply.
+
+    ``result`` is ``repro.formats.base.WriteResult``-shaped
+    (``encode_seconds`` / ``write_seconds`` / ``elapsed_seconds``).
+    No-op when disabled.
+    """
+    if not contracts_enabled():
+        return
+    encode = float(getattr(result, "encode_seconds", 0.0))
+    write = float(getattr(result, "write_seconds", 0.0))
+    elapsed = float(getattr(result, "elapsed_seconds", 0.0))
+    if encode < 0 or write < 0 or elapsed < 0:
+        _fail(f"write result: negative timing (encode={encode!r}, "
+              f"write={write!r}, elapsed={elapsed!r})")
+    bound = elapsed + tol
+    if encode > bound:
+        _fail(f"write result: encode_seconds {encode!r} exceeds "
+              f"elapsed_seconds {elapsed!r}")
+    if write > bound:
+        _fail(f"write result: write_seconds {write!r} exceeds "
+              f"elapsed_seconds {elapsed!r}")
+    if not overlapped and encode + write > bound:
+        _fail(f"write result: encode {encode!r} + write {write!r} "
+              f"exceeds elapsed {elapsed!r} with a synchronous sink "
+              "(double-counted timing)")
 
 
 def check_attempt_history(attempts: Sequence[object]) -> None:

@@ -36,6 +36,7 @@ from typing import Iterator
 import numpy as np
 
 from ..errors import ConfigurationError, GenerationError
+from ..telemetry import RECURSION_BUCKETS, registry
 from .process import EdgeProcess, make_process
 from .rng import stream
 from .scope import sample_scope_sizes
@@ -250,6 +251,8 @@ class RecursiveVectorGenerator:
         sources = self._block_sources(block_index)
         degrees = self.block_degrees(block_index)
         rng = stream(self.seed, _TAG_EDGE, block_index)
+        before = (self.stats.random_draws, self.stats.recvec_builds,
+                  self.stats.duplicates_discarded)
         if self.engine == "reference":
             block = self._generate_block_reference(sources, degrees, rng)
         else:
@@ -258,7 +261,54 @@ class RecursiveVectorGenerator:
         if degrees.size:
             self.stats.max_scope_size = max(self.stats.max_scope_size,
                                             int(degrees.max()))
+        self._record_block_metrics(block, degrees, before)
         return block
+
+    def _record_block_metrics(self, block: AdjacencyBlock,
+                              degrees: np.ndarray,
+                              before: tuple[int, int, int]) -> None:
+        """Publish per-block telemetry (no-op when telemetry is off).
+
+        Aggregation is vectorized per block — popcounts and bincounts over
+        arrays, then a handful of ``observe_bulk`` calls — so the cost is
+        O(block) numpy work, never a per-edge Python loop.  Nothing here
+        touches the RNG streams, so generated bytes are identical with
+        telemetry on or off.
+        """
+        reg = registry()
+        if not reg.enabled:
+            return
+        draws0, builds0, dups0 = before
+        stats = self.stats
+        draws = stats.random_draws - draws0
+        builds = stats.recvec_builds - builds0
+        reg.counter("generator.blocks").inc()
+        reg.counter("generator.edges").inc(block.num_edges)
+        reg.counter("generator.duplicates_discarded").inc(
+            stats.duplicates_discarded - dups0)
+        reg.counter("generator.random_draws").inc(draws)
+        reg.counter("generator.recvec_builds").inc(builds)
+        if self.engine != "bitwise":
+            # Idea #1 effectiveness: every draw beyond the first per scope
+            # reuses an already-built RecVec.  Builds that served no draw
+            # (zero-degree scopes) appear only in recvec_builds, keeping
+            # hits + misses == random_draws exact.
+            hits = max(draws - builds, 0)
+            reg.counter("generator.recvec_reuse_hits").inc(hits)
+            reg.counter("generator.recvec_reuse_misses").inc(draws - hits)
+        if block.destinations.size:
+            # Theorem 2: Algorithm 5 recurses once per 1-bit of the
+            # destination, so the per-edge recursion count is popcount(v).
+            pops = _popcount64(block.destinations)
+            counts = np.bincount(pops)
+            values = np.nonzero(counts)[0]
+            reg.histogram("generator.recursions_per_edge",
+                          bounds=RECURSION_BUCKETS).observe_bulk(
+                values, counts[values])
+        if degrees.size:
+            values, counts = np.unique(degrees, return_counts=True)
+            reg.histogram("generator.scope_size").observe_bulk(
+                values, counts)
 
     def iter_blocks(self, start: int = 0,
                     stop: int | None = None) -> Iterator[AdjacencyBlock]:
@@ -544,6 +594,20 @@ class RecursiveVectorGenerator:
                 f"invalid scope range [{start}, {stop}) for "
                 f"|V| = {self.num_vertices}")
         return start, stop
+
+
+def _popcount64(values: np.ndarray) -> np.ndarray:
+    """Per-element popcount of non-negative int64 values."""
+    v = values.astype(np.uint64)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(v).astype(np.int64)
+    # SWAR fallback for numpy < 2.0.
+    v = v - ((v >> np.uint64(1)) & np.uint64(0x5555555555555555))
+    v = ((v & np.uint64(0x3333333333333333))
+         + ((v >> np.uint64(2)) & np.uint64(0x3333333333333333)))
+    v = (v + (v >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return ((v * np.uint64(0x0101010101010101))
+            >> np.uint64(56)).astype(np.int64)
 
 
 def _sorted_unique(sorted_keys: np.ndarray) -> np.ndarray:

@@ -1,4 +1,4 @@
-"""The seven project-specific ``reprolint`` checkers.
+"""The eight project-specific ``reprolint`` checkers.
 
 Each checker guards one invariant the paper's correctness argument relies
 on; ``docs/static_analysis.md`` documents the catalogue in prose.
@@ -14,6 +14,8 @@ exception-hygiene   RPL401+  no bare/broad ``except`` outside the allowlist
 api-completeness    RPL501+  every module declares a consistent ``__all__``
 block-streaming     RPL505+  producers feed writers whole blocks, never
                              per-vertex ``writer.add`` loops
+telemetry           RPL507+  pipeline timing goes through
+                             ``repro.telemetry``; only the CLI prints
 mutable-defaults    RPL601   no mutable default arguments
 ==================  =======  ==================================================
 """
@@ -31,6 +33,7 @@ __all__ = [
     "ExceptionHygieneChecker",
     "ApiCompletenessChecker",
     "BlockStreamingChecker",
+    "TelemetryChecker",
     "MutableDefaultsChecker",
 ]
 
@@ -559,6 +562,63 @@ class BlockStreamingChecker(Checker):
                 if chain and chain[-1] == "iter_adjacency":
                     return True
         return False
+
+
+@register_checker
+class TelemetryChecker(Checker):
+    """Timing and reporting route through :mod:`repro.telemetry`.
+
+    RPL507 — a raw ``time.perf_counter()`` call in an instrumented layer
+    (``telemetry_span_module_prefixes``: the system facade, the
+    distributed runtime, and the formats package).  Ad-hoc
+    ``t0 = perf_counter(); ...; elapsed = perf_counter() - t0`` pairs
+    produce timing no exporter can see and that cross-process
+    aggregation cannot merge; use ``span(...)`` (hierarchical, appears
+    in the trace tree) or ``Stopwatch`` (hot-path accumulator) instead.
+    ``time.monotonic``/``time.sleep`` are fine — the rule is about
+    *measurement*, not scheduling.
+
+    RPL508 — a bare ``print(...)`` outside the allowed prefixes
+    (``print_allowed_module_prefixes``: the CLI owns stdout, devtools
+    write their own reports).  Library layers report through the
+    ``repro.*`` logger hierarchy so verbosity follows
+    ``TRILLIONG_LOG_LEVEL`` and output never corrupts piped graph data.
+    """
+
+    name = "telemetry"
+    codes = {
+        "RPL507": "raw time.perf_counter() in an instrumented layer",
+        "RPL508": "bare print() in a library module",
+    }
+
+    def _module_under(self, prefixes: tuple[str, ...]) -> bool:
+        return any(self.source.module == prefix
+                   or self.source.module.startswith(prefix + ".")
+                   for prefix in prefixes)
+
+    def _in_span_module(self) -> bool:
+        if self._module_under(("repro.telemetry",)):
+            return False     # the implementation must call the real clock
+        return self._module_under(self.config.telemetry_span_module_prefixes)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        is_perf = ((chain is not None and chain[-1] == "perf_counter")
+                   or (isinstance(node.func, ast.Name)
+                       and node.func.id == "perf_counter"))
+        if is_perf and self._in_span_module():
+            self.flag(node, "RPL507",
+                      "raw time.perf_counter(); use repro.telemetry's "
+                      "span(...) or Stopwatch so the timing lands in "
+                      "the unified report")
+        if (isinstance(node.func, ast.Name) and node.func.id == "print"
+                and not self._module_under(
+                    self.config.print_allowed_module_prefixes)):
+            self.flag(node, "RPL508",
+                      "bare print() in a library module; use "
+                      "repro.telemetry.get_logger(...) so output "
+                      "respects TRILLIONG_LOG_LEVEL")
+        self.generic_visit(node)
 
 
 @register_checker

@@ -77,6 +77,11 @@ class LintConfig:
         "repro.models": ("repro.dist",),
         "repro.util": ("repro.core", "repro.models", "repro.dist",
                        "repro.formats", "repro.cluster", "repro.cli"),
+        # telemetry is the bottom layer: every other layer may import it,
+        # so it must import none of them (or instrumentation would cycle).
+        "repro.telemetry": ("repro.core", "repro.models", "repro.dist",
+                            "repro.formats", "repro.cluster", "repro.cli",
+                            "repro.system", "repro.util"),
     })
     #: Modules whose Decimal high-precision paths must not round-trip
     #: through ``float()``.
@@ -102,6 +107,16 @@ class LintConfig:
     #: per-vertex ``writer.add(...)`` loops or pair-stream ``write``.
     block_streaming_module_prefixes: tuple[str, ...] = (
         "repro.system", "repro.dist")
+    #: Module prefixes where raw ``time.perf_counter()`` pairs are
+    #: forbidden: pipeline timing must flow through
+    #: ``repro.telemetry`` (``span()`` / ``Stopwatch``) so it lands in
+    #: the unified report instead of ad-hoc fields.
+    telemetry_span_module_prefixes: tuple[str, ...] = (
+        "repro.system", "repro.dist", "repro.formats")
+    #: Module prefixes allowed to call bare ``print()`` — the CLI owns
+    #: stdout; everything else reports through the ``repro.*`` loggers.
+    print_allowed_module_prefixes: tuple[str, ...] = (
+        "repro.cli", "repro.devtools")
 
 
 @dataclass

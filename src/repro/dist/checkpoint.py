@@ -26,13 +26,15 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.generator import RecursiveVectorGenerator
 from ..errors import ConfigurationError, FormatError
 from ..formats import get_format
+from ..telemetry import get_logger, registry, span
+
+_log = get_logger("dist.checkpoint")
 
 __all__ = ["CheckpointedRun", "CheckpointState",
            "fsync_file", "fsync_dir"]
@@ -174,6 +176,9 @@ class CheckpointedRun:
                 path.unlink(missing_ok=True)     # corrupt: regenerate
                 continue
             self.state.completed[name] = int(edges.shape[0])
+            registry().counter("checkpoint.chunks_adopted").inc()
+            _log.info("adopted completed chunk %s (%d edges)", name,
+                      int(edges.shape[0]))
             adopted = True
         if adopted:
             self._save()
@@ -217,6 +222,7 @@ class CheckpointedRun:
         calls this as each worker's chunk lands) and persist the
         manifest."""
         self.state.completed[name] = num_edges
+        registry().counter("checkpoint.chunks_completed").inc()
         self._save()
 
     def run(self, max_chunks: int | None = None) -> int:
@@ -235,13 +241,14 @@ class CheckpointedRun:
                 break
             final_path = self.out_dir / name
             tmp_path = self.out_dir / f"{name}.partial.{os.getpid()}"
-            result = fmt.write_blocks(tmp_path,
-                                      self.generator.iter_blocks(lo, hi),
-                                      self.generator.num_vertices)
-            fsync_file(tmp_path)
-            tmp_path.replace(final_path)
-            fsync_dir(self.out_dir)
-            self.mark_complete(name, result.num_edges)
+            with span("checkpoint.chunk"):
+                result = fmt.write_blocks(
+                    tmp_path, self.generator.iter_blocks(lo, hi),
+                    self.generator.num_vertices)
+                fsync_file(tmp_path)
+                tmp_path.replace(final_path)
+                fsync_dir(self.out_dir)
+                self.mark_complete(name, result.num_edges)
             done += 1
         return done
 

@@ -36,6 +36,10 @@ from typing import Any, Callable, Sequence
 
 from ..core.rng import stream
 from ..errors import TaskTimeout, TrillionGError, WorkerError
+from ..telemetry import (Stopwatch, absorb_telemetry, get_logger, registry,
+                         reset_telemetry, snapshot_telemetry, span)
+
+_log = get_logger("dist.faults")
 
 __all__ = [
     "FaultPlan",
@@ -219,7 +223,15 @@ def _attempt_entry(conn: Any, worker: Callable[[Any], Any], index: int,
                    faults: FaultPlan | None) -> None:
     """Subprocess entry: run one attempt, apply injected faults, and ship
     the outcome over the pipe.  Must catch everything — the process
-    boundary is the one place errors can only travel as data."""
+    boundary is the one place errors can only travel as data.
+
+    Telemetry is reset on entry (under ``fork`` the child inherits the
+    parent's live registry — re-reporting it would double-count on merge)
+    and a snapshot rides along with *every* outcome message, so even a
+    failed or corrupted attempt contributes its partial metrics to the
+    supervisor's aggregate.
+    """
+    reset_telemetry()
     try:
         action = faults.action(index, attempt) if faults is not None \
             else None
@@ -234,10 +246,11 @@ def _attempt_entry(conn: Any, worker: Callable[[Any], Any], index: int,
             out_path = _task_output_path(task)
             if out_path is not None and Path(out_path).is_file():
                 corrupt_file(out_path)
-        conn.send(("ok", result))
+        conn.send(("ok", result, snapshot_telemetry()))
     except BaseException as exc:  # reprolint: disable=RPL402
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send(("error", f"{type(exc).__name__}: {exc}",
+                       snapshot_telemetry()))
         except (BrokenPipeError, OSError):
             pass
     finally:
@@ -247,6 +260,15 @@ def _attempt_entry(conn: Any, worker: Callable[[Any], Any], index: int,
 # ---------------------------------------------------------------------------
 # Supervisor
 # ---------------------------------------------------------------------------
+
+
+#: Failure outcome -> scheduler counter incremented on settle.
+_OUTCOME_COUNTERS = {
+    "crashed": "sched.crashes",
+    "timeout": "sched.timeouts",
+    "corrupt": "sched.corruptions",
+    "error": "sched.errors",
+}
 
 
 @dataclass
@@ -260,19 +282,22 @@ class _Running:
     deadline: float | None
 
 
-def _reap(entry: _Running) -> tuple[str, Any]:
+def _reap(entry: _Running) -> tuple[str, Any, dict | None]:
     """Collect an outcome from a readable pipe: the child either sent a
-    message or died without one (hard crash / ``os._exit``)."""
+    message or died without one (hard crash / ``os._exit``).  The third
+    element is the child's telemetry snapshot when it managed to send
+    one — present for clean failures too, absent only for hard deaths."""
     try:
-        kind, payload = entry.conn.recv()
+        kind, payload, snap = entry.conn.recv()
     except (EOFError, OSError):
         entry.process.join()
         code = entry.process.exitcode
-        return "crashed", f"worker died without reporting (exit {code})"
+        return ("crashed",
+                f"worker died without reporting (exit {code})", None)
     entry.process.join()
     if kind == "ok":
-        return "ok", payload
-    return "crashed", payload
+        return "ok", payload, snap
+    return "crashed", payload, snap
 
 
 def _kill(entry: _Running) -> None:
@@ -304,23 +329,24 @@ def _run_in_process(index: int, task: Any, worker: Callable[[Any], Any],
                     policy: RetryPolicy) -> Any:
     """Degraded path: run the task in the supervisor itself (no fault
     injection, no timeout — there is no separate process to kill)."""
-    t0 = time.perf_counter()
+    watch = Stopwatch().start()
+    registry().counter("sched.attempts").inc()
     try:
         result = worker(task)
         if validate is not None:
             validate(task, result)
     except WorkerError as exc:
-        attempts.append(TaskAttempt(attempt, "corrupt",
-                                    time.perf_counter() - t0,
+        attempts.append(TaskAttempt(attempt, "corrupt", watch.stop(),
                                     in_process=True, error=str(exc)))
+        registry().counter("sched.corruptions").inc()
         raise _fail_task(index, attempts, policy) from exc
     except Exception as exc:  # reprolint: disable=RPL402
-        attempts.append(TaskAttempt(attempt, "error",
-                                    time.perf_counter() - t0,
+        attempts.append(TaskAttempt(attempt, "error", watch.stop(),
                                     in_process=True,
                                     error=f"{type(exc).__name__}: {exc}"))
+        registry().counter("sched.errors").inc()
         raise _fail_task(index, attempts, policy) from exc
-    attempts.append(TaskAttempt(attempt, "ok", time.perf_counter() - t0,
+    attempts.append(TaskAttempt(attempt, "ok", watch.stop(),
                                 in_process=True))
     return result
 
@@ -377,11 +403,12 @@ def run_tasks(tasks: Sequence[Any], worker: Callable[[Any], Any], *,
         return results, history
 
     if pool_size <= 1:
-        for i, task in enumerate(tasks):
-            results[i] = _run_in_process(i, task, worker, validate,
-                                         history[i], 1, policy)
-            if on_result is not None:
-                on_result(i, results[i])
+        with span("sched.run_tasks", tasks=count):
+            for i, task in enumerate(tasks):
+                results[i] = _run_in_process(i, task, worker, validate,
+                                             history[i], 1, policy)
+                if on_result is not None:
+                    on_result(i, results[i])
         return results, history
 
     ctx = mp_context if mp_context is not None \
@@ -414,17 +441,28 @@ def run_tasks(tasks: Sequence[Any], worker: Callable[[Any], Any], *,
                     if faults is not None else None)
         history[index].append(TaskAttempt(attempt, outcome, elapsed,
                                           error=error, injected=injected))
+        reg = registry()
+        reg.counter("sched.attempts").inc()
         if outcome == "ok":
             results[index] = payload
             if on_result is not None:
                 on_result(index, payload)
             return
+        reg.counter(_OUTCOME_COUNTERS.get(outcome, "sched.errors")).inc()
+        _log.warning("task %d attempt %d %s: %s", index, attempt,
+                     outcome, error)
         failures[index] += 1
         if attempt >= policy.max_attempts:
             raise _fail_task(index, history[index], policy)
+        reg.counter("sched.retries").inc()
         release = time.monotonic() + policy.backoff_delay(index, attempt)
         delayed.append((release, index))
 
+    # Manually entered (rather than a ``with`` over the whole loop) so the
+    # worker snapshots absorbed below graft under this span while the
+    # existing try/finally keeps the kill-everything cleanup unchanged.
+    sched_span = span("sched.run_tasks", tasks=count)
+    sched_span.__enter__()
     try:
         while ready or delayed or running:
             now = time.monotonic()
@@ -437,6 +475,10 @@ def run_tasks(tasks: Sequence[Any], worker: Callable[[Any], Any], *,
             while ready and len(running) < pool_size:
                 index = ready.popleft()
                 if failures[index] >= policy.in_process_after:
+                    registry().counter("sched.fallbacks").inc()
+                    _log.warning("task %d degrading to in-process "
+                                 "execution after %d worker deaths",
+                                 index, failures[index])
                     attempt_no[index] += 1
                     results[index] = _run_in_process(
                         index, tasks[index], worker, validate,
@@ -468,9 +510,14 @@ def run_tasks(tasks: Sequence[Any], worker: Callable[[Any], Any], *,
             now = time.monotonic()
             for index, entry in list(running.items()):
                 if entry.conn in readable:
-                    kind, payload = _reap(entry)
+                    kind, payload, snap = _reap(entry)
                     entry.conn.close()
                     del running[index]
+                    if snap is not None:
+                        # Merge the child's metrics and span tree even
+                        # when the attempt failed — partial work is real
+                        # work, and the aggregate should account for it.
+                        absorb_telemetry(snap)
                     elapsed = now - entry.started
                     if kind == "ok":
                         error = None
@@ -495,5 +542,6 @@ def run_tasks(tasks: Sequence[Any], worker: Callable[[Any], Any], *,
     finally:
         for entry in running.values():
             _kill(entry)
+        sched_span.__exit__(None, None, None)
 
     return results, history

@@ -21,9 +21,9 @@ parallel run resumes where it stopped — still bit-identical.
 from __future__ import annotations
 
 import multiprocessing as mp
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from ..contracts import check_attempt_history, check_worker_result
 from ..core.generator import RecursiveVectorGenerator
 from ..errors import FormatError, WorkerError
 from ..formats import get_format
+from ..telemetry import span
 from .checkpoint import CheckpointedRun, fsync_dir, fsync_file
 from .faults import (FaultPlan, RetryPolicy, TaskAttempt,
                      pick_start_method, run_tasks)
@@ -136,13 +137,14 @@ def _worker_generate(args: tuple) -> WorkerResult:
     round-trips under both fork and spawn start methods.
     """
     (worker, start, stop, gen_kwargs, fmt_name, out_path) = args
-    t0 = time.perf_counter()
-    generator = RecursiveVectorGenerator(**gen_kwargs)
-    fmt = get_format(fmt_name)
-    result = fmt.write_blocks(out_path, generator.iter_blocks(start, stop),
-                              generator.num_vertices)
+    with span("worker.generate", worker=worker) as sp:
+        generator = RecursiveVectorGenerator(**gen_kwargs)
+        fmt = get_format(fmt_name)
+        result = fmt.write_blocks(out_path,
+                                  generator.iter_blocks(start, stop),
+                                  generator.num_vertices)
     return WorkerResult(worker, start, stop, result.num_edges,
-                        str(out_path), time.perf_counter() - t0,
+                        str(out_path), sp.seconds,
                         encode_seconds=result.encode_seconds,
                         write_seconds=result.write_seconds)
 
@@ -152,20 +154,37 @@ def _worker_chunk(args: tuple) -> WorkerResult:
     temporary, fsync, and atomically rename — the parent records the
     chunk in the manifest only after this returns."""
     (chunk, start, stop, gen_kwargs, fmt_name, final_path) = args
-    t0 = time.perf_counter()
-    generator = RecursiveVectorGenerator(**gen_kwargs)
-    fmt = get_format(fmt_name)
-    final = Path(final_path)
-    tmp = final.with_name(f"{final.name}.partial.{mp.current_process().pid}")
-    result = fmt.write_blocks(tmp, generator.iter_blocks(start, stop),
-                              generator.num_vertices)
-    fsync_file(tmp)
-    tmp.replace(final)
-    fsync_dir(final.parent)
+    with span("worker.chunk", chunk=chunk) as sp:
+        generator = RecursiveVectorGenerator(**gen_kwargs)
+        fmt = get_format(fmt_name)
+        final = Path(final_path)
+        tmp = final.with_name(
+            f"{final.name}.partial.{mp.current_process().pid}")
+        result = fmt.write_blocks(tmp, generator.iter_blocks(start, stop),
+                                  generator.num_vertices)
+        fsync_file(tmp)
+        tmp.replace(final)
+        fsync_dir(final.parent)
     return WorkerResult(chunk, start, stop, result.num_edges,
-                        str(final), time.perf_counter() - t0,
+                        str(final), sp.seconds,
                         encode_seconds=result.encode_seconds,
                         write_seconds=result.write_seconds)
+
+
+def _progress_hook(progress: Callable[[int], None] | None
+                   ) -> Callable[[int, WorkerResult], None] | None:
+    """Adapt a cumulative-edge ``progress`` callback to the scheduler's
+    per-task ``on_result(index, result)`` hook."""
+    if progress is None:
+        return None
+    edges_done = 0
+
+    def hook(index: int, worker_result: WorkerResult) -> None:
+        nonlocal edges_done
+        edges_done += worker_result.num_edges
+        progress(edges_done)
+
+    return hook
 
 
 class LocalCluster:
@@ -280,6 +299,7 @@ class LocalCluster:
                           retry: RetryPolicy | None = None,
                           faults: FaultPlan | None = None,
                           start_method: str | None = None,
+                          progress: Callable[[int], None] | None = None,
                           ) -> DistributedResult:
         """Partition, scatter, and generate part files in parallel.
 
@@ -289,24 +309,25 @@ class LocalCluster:
         ``faults`` is omitted, ``TRILLIONG_FAULT_*`` environment
         variables are honoured (none set means no injection).
         ``start_method`` forces ``fork``/``spawn`` (default: fork where
-        available, spawn otherwise).
+        available, spawn otherwise).  ``progress`` is called with the
+        cumulative edge count as each partition lands.
         """
         out_dir = Path(out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         result = DistributedResult()
-        t0 = time.perf_counter()
-        ranges = range_partition(generator, self.spec.num_workers)
-        result.partition_seconds = time.perf_counter() - t0
+        with span("partition", workers=self.spec.num_workers) as sp:
+            ranges = range_partition(generator, self.spec.num_workers)
+        result.partition_seconds = sp.seconds
 
         tasks = self._build_tasks(generator, out_dir, ranges, fmt_name)
-        t0 = time.perf_counter()
         pool_size = self._pool_size(processes, len(tasks),
                                     self.spec.num_workers)
-        result.workers, result.task_attempts = self._run_supervised(
-            tasks, _worker_generate, pool_size, retry, faults, fmt_name,
-            start_method)
-        result.elapsed_seconds = (time.perf_counter() - t0
-                                  + result.partition_seconds)
+        with span("scatter", tasks=len(tasks), pool=pool_size) as sp:
+            result.workers, result.task_attempts = self._run_supervised(
+                tasks, _worker_generate, pool_size, retry, faults,
+                fmt_name, start_method,
+                on_result=_progress_hook(progress))
+        result.elapsed_seconds = sp.seconds + result.partition_seconds
         return result
 
     def generate_checkpointed(self, generator: RecursiveVectorGenerator,
@@ -317,6 +338,8 @@ class LocalCluster:
                               retry: RetryPolicy | None = None,
                               faults: FaultPlan | None = None,
                               start_method: str | None = None,
+                              progress: Callable[[int], None]
+                              | None = None,
                               ) -> DistributedResult:
         """Parallel *and* resumable generation: chunked like
         :class:`~repro.dist.checkpoint.CheckpointedRun`, scattered like
@@ -342,17 +365,21 @@ class LocalCluster:
         ]
         names = [name for name, _, _ in pending]
 
+        tick = _progress_hook(progress)
+
         def record(position: int, worker_result: WorkerResult) -> None:
             run.mark_complete(names[position], worker_result.num_edges)
+            if tick is not None:
+                tick(position, worker_result)
 
         result = DistributedResult(checkpoint=run)
-        t0 = time.perf_counter()
         pool_size = self._pool_size(processes, len(tasks),
                                     self.spec.num_workers)
-        result.workers, result.task_attempts = self._run_supervised(
-            tasks, _worker_chunk, pool_size, retry, faults, fmt_name,
-            start_method, on_result=record)
-        result.elapsed_seconds = time.perf_counter() - t0
+        with span("scatter", tasks=len(tasks), pool=pool_size) as sp:
+            result.workers, result.task_attempts = self._run_supervised(
+                tasks, _worker_chunk, pool_size, retry, faults, fmt_name,
+                start_method, on_result=record)
+        result.elapsed_seconds = sp.seconds
         return result
 
     def read_all_edges(self, result: DistributedResult,

@@ -22,7 +22,6 @@ validate each other.
 from __future__ import annotations
 
 import multiprocessing as mp
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -30,6 +29,7 @@ import numpy as np
 
 from ..core.rng import stream
 from ..core.seed import SeedMatrix
+from ..telemetry import span
 from ..formats import block_from_edges, get_format
 from ..models.rmat import rmat_edge_batch
 from ..util.external_sort import external_sort_unique, write_run
@@ -140,22 +140,22 @@ def run_wesp_distributed(scale: int, edge_factor: int = 16,
          num_workers, epsilon, str(shuffle_dir))
         for w in range(num_workers)
     ]
-    t0 = time.perf_counter()
-    map_outputs, _ = run_tasks(map_args, _map_task, pool_size=pool_size,
-                               policy=retry, faults=faults,
-                               mp_context=ctx)
-    result.generate_seconds = time.perf_counter() - t0
+    with span("wesp.map", workers=num_workers) as sp:
+        map_outputs, _ = run_tasks(map_args, _map_task,
+                                   pool_size=pool_size, policy=retry,
+                                   faults=faults, mp_context=ctx)
+    result.generate_seconds = sp.seconds
 
     # Group runs by reducer.
     reduce_args = []
     for reducer in range(num_workers):
         runs = [paths[reducer] for paths in map_outputs]
         reduce_args.append((reducer, runs, str(work_dir), scale, fmt_name))
-    t0 = time.perf_counter()
-    reduce_outputs, _ = run_tasks(reduce_args, _reduce_task,
-                                  pool_size=pool_size, policy=retry,
-                                  faults=faults, mp_context=ctx)
-    result.merge_seconds = time.perf_counter() - t0
+    with span("wesp.reduce", workers=num_workers) as sp:
+        reduce_outputs, _ = run_tasks(reduce_args, _reduce_task,
+                                      pool_size=pool_size, policy=retry,
+                                      faults=faults, mp_context=ctx)
+    result.merge_seconds = sp.seconds
 
     for path, count in reduce_outputs:
         result.part_paths.append(Path(path))

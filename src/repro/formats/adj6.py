@@ -17,7 +17,6 @@ numpy fancy indexing — and emits a single ``write()`` per block.
 from __future__ import annotations
 
 import struct
-import time
 from pathlib import Path
 from typing import Iterator
 
@@ -57,9 +56,9 @@ class _Adj6Writer(StreamWriter):
         self.num_edges += degree
 
     def add_block(self, block: AdjacencyBlock) -> None:
-        t0 = time.perf_counter()
-        buffer = self._encode_block(block)
-        self.encode_seconds += time.perf_counter() - t0
+        with self._encode_watch:
+            buffer = self._encode_block(block)
+        self._blocks_counter.inc()
         if buffer is not None:
             self._sink.write(buffer)
         self.num_edges += block.num_edges

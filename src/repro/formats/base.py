@@ -16,7 +16,6 @@ applications.
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
@@ -24,8 +23,10 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..contracts import check_write_result
 from ..core.generator import AdjacencyBlock
 from ..errors import FormatError
+from ..telemetry import Stopwatch, registry, span
 from .pipeline import WriteSink
 
 __all__ = ["WriteResult", "GraphFormat", "StreamWriter", "register_format",
@@ -94,9 +95,18 @@ class StreamWriter(ABC):
         self.num_edges = 0
         #: Set by the first :meth:`close` (including via ``with``).
         self.result: WriteResult | None = None
-        #: Wall time spent encoding blocks into format bytes.
-        self.encode_seconds = 0.0
-        self._opened_at = time.perf_counter()
+        #: Accumulates wall time spent encoding blocks into format
+        #: bytes; format writers wrap their encoders in
+        #: ``with self._encode_watch:``.
+        self._encode_watch = Stopwatch()
+        #: Open-to-close wall time; stopped by :meth:`_build_result`.
+        self._elapsed_watch = Stopwatch().start()
+        self._blocks_counter = registry().counter("format.blocks_encoded")
+
+    @property
+    def encode_seconds(self) -> float:
+        """Wall time spent encoding blocks into format bytes."""
+        return self._encode_watch.seconds
 
     @abstractmethod
     def add(self, vertex: int, neighbours: np.ndarray) -> None:
@@ -126,14 +136,23 @@ class StreamWriter(ABC):
         sink: WriteSink | None = getattr(self, "_sink", None)
         return sink.write_seconds if sink is not None else 0.0
 
+    def _sink_overlapped(self) -> bool:
+        sink: WriteSink | None = getattr(self, "_sink", None)
+        return sink.overlapped if sink is not None else False
+
     def _build_result(self, bytes_written: int,
                       extra_write_seconds: float = 0.0) -> WriteResult:
         """Assemble the :class:`WriteResult` with the timing fields."""
-        return WriteResult(
+        result = WriteResult(
             self.path, self.num_vertices, self.num_edges, bytes_written,
             encode_seconds=self.encode_seconds,
             write_seconds=self._sink_write_seconds() + extra_write_seconds,
-            elapsed_seconds=time.perf_counter() - self._opened_at)
+            elapsed_seconds=self._elapsed_watch.stop())
+        reg = registry()
+        reg.counter("format.bytes_written").inc(bytes_written)
+        reg.counter("format.edges_written").inc(self.num_edges)
+        check_write_result(result, overlapped=self._sink_overlapped())
+        return result
 
     def __enter__(self) -> "StreamWriter":
         return self
@@ -173,10 +192,11 @@ class GraphFormat(ABC):
         written in bulk (pipelined with generation unless
         ``TRILLIONG_NO_PIPELINE=1``).
         """
-        writer = self.open_writer(path, num_vertices)
-        with writer:
-            for block in blocks:
-                writer.add_block(block)
+        with span("format.write_blocks", format=self.name):
+            writer = self.open_writer(path, num_vertices)
+            with writer:
+                for block in blocks:
+                    writer.add_block(block)
         assert writer.result is not None
         return writer.result
 

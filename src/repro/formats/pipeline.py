@@ -25,8 +25,10 @@ from __future__ import annotations
 import os
 import queue
 import threading
-import time
 from typing import IO, Any
+
+from ..telemetry import Stopwatch, registry
+from ..telemetry.progress import QUEUE_GAUGE
 
 __all__ = [
     "NO_PIPELINE_ENV",
@@ -72,10 +74,14 @@ class WriteSink:
 
     Subclasses accumulate the wall time spent inside ``file.write`` in
     :attr:`write_seconds` so writers can report encode vs. write time
-    separately.
+    separately.  ``overlapped`` says whether that write time runs
+    concurrently with the producer (and may therefore overlap encode
+    time) — the timing contract in
+    :func:`repro.contracts.check_write_result` keys off it.
     """
 
     write_seconds: float = 0.0
+    overlapped: bool = False
 
     def write(self, data: Any) -> None:
         """Submit one encoded buffer (``bytes`` or ``str``)."""
@@ -93,14 +99,19 @@ class WriteSink:
 class DirectSink(WriteSink):
     """Synchronous passthrough (pipeline disabled)."""
 
+    overlapped = False
+
     def __init__(self, file: IO[Any]) -> None:
         self._file = file
-        self.write_seconds = 0.0
+        self._watch = Stopwatch()
+
+    @property
+    def write_seconds(self) -> float:  # type: ignore[override]
+        return self._watch.seconds
 
     def write(self, data: Any) -> None:
-        t0 = time.perf_counter()
-        self._file.write(data)
-        self.write_seconds += time.perf_counter() - t0
+        with self._watch:
+            self._file.write(data)
 
     def drain(self) -> None:
         return None
@@ -122,16 +133,23 @@ class ThreadedSink(WriteSink):
 
     _SENTINEL: object = object()
 
+    overlapped = True
+
     def __init__(self, file: IO[Any], depth: int | None = None) -> None:
         self._file = file
         self._queue: queue.Queue = queue.Queue(
             maxsize=depth if depth is not None else pipeline_depth())
         self._error: BaseException | None = None
         self._closed = False
-        self.write_seconds = 0.0
+        self._watch = Stopwatch()
+        self._queue_gauge = registry().gauge(QUEUE_GAUGE, mode="max")
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="trilliong-writer")
         self._thread.start()
+
+    @property
+    def write_seconds(self) -> float:  # type: ignore[override]
+        return self._watch.seconds
 
     def _run(self) -> None:
         while True:
@@ -140,12 +158,12 @@ class ThreadedSink(WriteSink):
                 self._queue.task_done()
                 return
             if self._error is None:
-                t0 = time.perf_counter()
+                self._watch.start()
                 try:
                     self._file.write(item)
                 except (OSError, ValueError) as exc:
                     self._error = exc
-                self.write_seconds += time.perf_counter() - t0
+                self._watch.stop()
             self._queue.task_done()
 
     def _check(self) -> None:
@@ -157,6 +175,10 @@ class ThreadedSink(WriteSink):
         if self._closed:
             raise ValueError("write to a closed sink")
         self._check()
+        # High-water mark of in-flight buffers: sampled before the put so
+        # a full queue (producer about to block on backpressure) reads as
+        # depth, not depth - 1.
+        self._queue_gauge.set(self._queue.qsize() + 1)
         self._queue.put(data)
 
     def drain(self) -> None:

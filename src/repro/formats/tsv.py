@@ -7,7 +7,6 @@ default.  The block encoder renders every edge of an
 
 from __future__ import annotations
 
-import time
 from pathlib import Path
 from typing import Iterator
 
@@ -37,13 +36,13 @@ class _TsvWriter(StreamWriter):
     def add_block(self, block: AdjacencyBlock) -> None:
         if block.num_edges == 0:
             return
-        t0 = time.perf_counter()
-        sources = np.repeat(block.sources, block.degrees)
-        lines = np.char.add(
-            np.char.add(sources.astype(np.str_), "\t"),
-            np.char.add(block.destinations.astype(np.str_), "\n"))
-        buffer = "".join(lines.tolist())
-        self.encode_seconds += time.perf_counter() - t0
+        with self._encode_watch:
+            sources = np.repeat(block.sources, block.degrees)
+            lines = np.char.add(
+                np.char.add(sources.astype(np.str_), "\t"),
+                np.char.add(block.destinations.astype(np.str_), "\n"))
+            buffer = "".join(lines.tolist())
+        self._blocks_counter.inc()
         self._sink.write(buffer)
         self.num_edges += block.num_edges
 

@@ -7,15 +7,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable, Iterator
 
 import numpy as np
 
-from .core.generator import IdeaToggles, RecursiveVectorGenerator
+from .core.generator import (AdjacencyBlock, IdeaToggles,
+                             RecursiveVectorGenerator)
 from .core.seed import GRAPH500, SeedMatrix
 from .dist.checkpoint import CheckpointedRun
 from .dist.faults import FaultPlan, RetryPolicy
 from .dist.runner import ClusterSpec, DistributedResult, LocalCluster
 from .formats import WriteResult, get_format
+from .telemetry import build_report, span, telemetry_enabled
 
 __all__ = ["TrillionG", "TrillionGResult"]
 
@@ -27,6 +30,9 @@ class TrillionGResult:
     ``encode_seconds``/``write_seconds`` break the output cost into
     format encoding vs. ``file.write`` wall time (summed across workers
     for distributed runs; the two overlap when the write pipeline is on).
+    ``telemetry`` holds the full metrics + span report for the run
+    (:func:`repro.telemetry.build_report`), or ``None`` when telemetry is
+    disabled via ``TRILLIONG_TELEMETRY=0``.
     """
 
     paths: list[Path]
@@ -37,6 +43,7 @@ class TrillionGResult:
     skew: float = 1.0
     encode_seconds: float = 0.0
     write_seconds: float = 0.0
+    telemetry: dict | None = None
 
     @property
     def edges_per_second(self) -> float:
@@ -102,7 +109,9 @@ class TrillionG:
     def generate_to(self, path: Path | str, fmt: str = "adj6",
                     processes: int | None = None, *,
                     resume: bool = False,
-                    blocks_per_chunk: int = 16) -> TrillionGResult:
+                    blocks_per_chunk: int = 16,
+                    progress: Callable[[int], None] | None = None
+                    ) -> TrillionGResult:
         """Generate to disk.
 
         Without a cluster, writes one file sequentially.  With a cluster,
@@ -112,57 +121,89 @@ class TrillionG:
         ``blocks_per_chunk`` blocks plus a manifest) and a killed run can
         simply be re-invoked: only missing chunks are regenerated, and
         the final output is bit-identical either way.
+
+        ``progress`` is called with the cumulative edge count as work
+        lands (per block sequentially, per worker result distributed) —
+        pass a :class:`repro.telemetry.ProgressReporter` for a live
+        terminal line.
         """
-        import time
         if resume:
             return self._generate_resumable(path, fmt, processes,
-                                            blocks_per_chunk)
+                                            blocks_per_chunk, progress)
         if self.cluster is None:
-            t0 = time.perf_counter()
-            writer = get_format(fmt)
-            result: WriteResult = writer.write_blocks(
-                path, self.generator.iter_blocks(), self.num_vertices)
-            elapsed = time.perf_counter() - t0
+            with span("generate", scale=self.generator.scale,
+                      fmt=fmt) as sp:
+                writer = get_format(fmt)
+                result: WriteResult = writer.write_blocks(
+                    path, self._blocks_with_progress(progress),
+                    self.num_vertices)
             return TrillionGResult([Path(path)], self.num_vertices,
                                    result.num_edges, result.bytes_written,
-                                   elapsed,
+                                   sp.seconds,
                                    encode_seconds=result.encode_seconds,
-                                   write_seconds=result.write_seconds)
-        runner = LocalCluster(self.cluster)
-        dist: DistributedResult = runner.generate_to_files(
-            self.generator, path, fmt, processes=processes,
-            retry=self.retry, faults=self.faults)
+                                   write_seconds=result.write_seconds,
+                                   telemetry=self._report())
+        with span("generate", scale=self.generator.scale, fmt=fmt):
+            runner = LocalCluster(self.cluster)
+            dist: DistributedResult = runner.generate_to_files(
+                self.generator, path, fmt, processes=processes,
+                retry=self.retry, faults=self.faults, progress=progress)
         total_bytes = sum(p.stat().st_size for p in dist.paths)
         return TrillionGResult(dist.paths, self.num_vertices,
                                dist.num_edges, total_bytes,
                                dist.elapsed_seconds, dist.skew,
                                encode_seconds=dist.encode_seconds,
-                               write_seconds=dist.write_seconds)
+                               write_seconds=dist.write_seconds,
+                               telemetry=self._report())
 
     def _generate_resumable(self, path: Path | str, fmt: str,
                             processes: int | None,
-                            blocks_per_chunk: int) -> TrillionGResult:
+                            blocks_per_chunk: int,
+                            progress: Callable[[int], None] | None
+                            ) -> TrillionGResult:
         """Checkpointed generation: sequential without a cluster, the
         supervised parallel scatter with one."""
-        import time
         if self.cluster is None:
-            t0 = time.perf_counter()
-            run = CheckpointedRun(self.generator, path, fmt,
-                                  blocks_per_chunk)
-            run.run()
-            elapsed = time.perf_counter() - t0
+            with span("generate", scale=self.generator.scale,
+                      fmt=fmt, resume=True) as sp:
+                run = CheckpointedRun(self.generator, path, fmt,
+                                      blocks_per_chunk)
+                run.run()
+                if progress is not None:
+                    progress(run.num_edges)
             paths = run.chunk_paths()
             return TrillionGResult(paths, self.num_vertices,
                                    run.num_edges,
                                    sum(p.stat().st_size for p in paths),
-                                   elapsed)
-        runner = LocalCluster(self.cluster)
-        dist = runner.generate_checkpointed(
-            self.generator, path, fmt, blocks_per_chunk,
-            processes=processes, retry=self.retry, faults=self.faults)
+                                   sp.seconds,
+                                   telemetry=self._report())
+        with span("generate", scale=self.generator.scale, fmt=fmt,
+                  resume=True):
+            runner = LocalCluster(self.cluster)
+            dist = runner.generate_checkpointed(
+                self.generator, path, fmt, blocks_per_chunk,
+                processes=processes, retry=self.retry,
+                faults=self.faults, progress=progress)
         run = dist.checkpoint
         assert run is not None
         paths = run.chunk_paths()
         return TrillionGResult(paths, self.num_vertices, run.num_edges,
                                sum(p.stat().st_size for p in paths),
-                               dist.elapsed_seconds, dist.skew)
+                               dist.elapsed_seconds, dist.skew,
+                               telemetry=self._report())
+
+    def _blocks_with_progress(
+            self, progress: Callable[[int], None] | None
+    ) -> Iterator[AdjacencyBlock]:
+        """Yield blocks, reporting the cumulative edge count per block."""
+        done = 0
+        for block in self.generator.iter_blocks():
+            yield block
+            if progress is not None:
+                done += block.num_edges
+                progress(done)
+
+    @staticmethod
+    def _report() -> dict | None:
+        """Snapshot the telemetry report, or ``None`` when disabled."""
+        return build_report() if telemetry_enabled() else None

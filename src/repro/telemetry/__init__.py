@@ -1,0 +1,81 @@
+"""repro.telemetry — unified metrics, spans, and progress reporting.
+
+The zero-dependency observability layer the rest of the pipeline reports
+through (stdlib only — no numpy, no repro imports):
+
+- :func:`registry` / :class:`MetricsRegistry` — counters, gauges,
+  fixed-bucket histograms; a shared no-op registry when
+  ``TRILLIONG_TELEMETRY=0``.
+- :func:`span` / :class:`Stopwatch` — hierarchical phase timing and the
+  accumulator primitive that replaced the ad-hoc ``perf_counter()``
+  pairs.  Spans always measure; they only *record* when enabled.
+- :func:`snapshot_telemetry` / :func:`absorb_telemetry` — the
+  cross-process protocol: workers snapshot, the supervisor absorbs, and
+  a distributed run yields one coherent report.
+- :mod:`.export` — structured ``repro.*`` logging, JSON report,
+  Prometheus text format; :mod:`.progress` — the human ``--progress``
+  line.
+
+See ``docs/observability.md`` for the metric catalog and span taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .export import (LOG_LEVEL_ENV_VAR, build_report, configure_logging,
+                     get_logger, log_report, merge_reports, to_prometheus,
+                     write_json_report)
+from .metrics import (ENV_VAR, NULL_REGISTRY, POW2_BUCKETS,
+                      RECURSION_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, NullRegistry, enable_telemetry,
+                      global_registry, merge_metrics, registry,
+                      reset_metrics, telemetry_enabled)
+from .progress import ProgressReporter, human_count
+from .spans import (Span, SpanNode, Stopwatch, Tracer, merge_span_trees,
+                    reset_tracer, span, tracer)
+
+__all__ = [
+    # switches
+    "ENV_VAR", "LOG_LEVEL_ENV_VAR", "telemetry_enabled", "enable_telemetry",
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "NULL_REGISTRY", "registry", "global_registry", "reset_metrics",
+    "merge_metrics", "POW2_BUCKETS", "RECURSION_BUCKETS",
+    # spans
+    "span", "Span", "SpanNode", "Stopwatch", "Tracer", "tracer",
+    "reset_tracer", "merge_span_trees",
+    # cross-process protocol
+    "snapshot_telemetry", "absorb_telemetry", "reset_telemetry",
+    # exporters / progress
+    "build_report", "merge_reports", "write_json_report", "to_prometheus",
+    "log_report", "configure_logging", "get_logger",
+    "ProgressReporter", "human_count",
+]
+
+
+def snapshot_telemetry() -> dict:
+    """Serialize this process's metrics + span trees (JSON/pickle-able).
+
+    This is what a worker ships back to the supervisor alongside its
+    result payload.
+    """
+    return build_report()
+
+
+def absorb_telemetry(snapshot: Mapping) -> None:
+    """Merge a worker-process snapshot into this process's live
+    telemetry: metrics by their merge semantics, span trees grafted
+    under the currently active span (see :meth:`Tracer.attach`)."""
+    if not telemetry_enabled():
+        return
+    global_registry().merge(snapshot.get("metrics", {}))
+    tracer().attach(snapshot.get("spans", ()))
+
+
+def reset_telemetry() -> None:
+    """Clear all telemetry state — called at worker-process entry so a
+    forked child does not re-report metrics inherited from its parent,
+    and by tests."""
+    reset_metrics()
+    reset_tracer()

@@ -1,0 +1,330 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is the cheap always-on half of the telemetry layer: an
+instrument is one dict lookup to obtain (callers cache the handle on hot
+paths) and one float add to update.  When telemetry is disabled
+(``TRILLIONG_TELEMETRY=0``) :func:`registry` returns a no-op registry
+whose instruments discard every update, so instrumented code pays a
+single attribute call and nothing else.
+
+Snapshots are plain JSON-able dicts, and :func:`merge_metrics` is
+associative and commutative (counters add, max/min gauges take the
+extremum, histograms add bucket-wise), so per-worker snapshots can be
+merged in any order into one coherent report — the property the
+cross-process aggregation in :mod:`repro.dist.faults` relies on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import threading
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "ENV_VAR",
+    "telemetry_enabled",
+    "enable_telemetry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "registry",
+    "global_registry",
+    "reset_metrics",
+    "merge_metrics",
+    "POW2_BUCKETS",
+    "RECURSION_BUCKETS",
+]
+
+#: Environment variable switching telemetry off (``0/false/no/off``).
+#: Telemetry is *on* by default — the instruments are cheap enough to
+#: leave enabled; the variable is the escape hatch, not the opt-in.
+ENV_VAR = "TRILLIONG_TELEMETRY"
+
+_FALSY = frozenset({"0", "false", "no", "off"})
+
+#: Programmatic override: ``None`` defers to the environment.
+_override: bool | None = None
+
+#: Power-of-two bucket bounds shared by the size-shaped histograms
+#: (scope sizes, degrees): 1, 2, 4, ... 2^48 (the 6-byte id ceiling).
+POW2_BUCKETS: tuple[float, ...] = tuple(float(1 << k) for k in range(49))
+
+#: Linear bucket bounds for small per-edge counts (recursions per edge:
+#: one recursion per 1-bit of the destination, so at most ``scale`` and
+#: the generator caps scale at 56).
+RECURSION_BUCKETS: tuple[float, ...] = tuple(float(k) for k in range(57))
+
+
+def telemetry_enabled() -> bool:
+    """Whether instruments record (override, else env var, default on)."""
+    if _override is not None:
+        return _override
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def enable_telemetry(on: bool | None) -> None:
+    """Force telemetry on/off; ``None`` defers back to ``ENV_VAR``."""
+    global _override
+    _override = on
+
+
+class Counter:
+    """A monotonically increasing float; merge adds."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value with a merge mode.
+
+    ``mode`` decides cross-snapshot (and cross-process) semantics:
+    ``"max"``/``"min"`` keep the extremum — the right call for
+    high-water marks, and associative so merges commute — while
+    ``"last"`` simply overwrites (use only for values where any one
+    process's reading is as good as another's).
+    """
+
+    __slots__ = ("value", "mode")
+
+    _MODES = ("last", "max", "min")
+
+    def __init__(self, mode: str = "last") -> None:
+        if mode not in self._MODES:
+            raise ValueError(f"unknown gauge mode {mode!r}")
+        self.value = 0.0
+        self.mode = mode
+
+    def set(self, value: float) -> None:
+        if self.mode == "max":
+            if value > self.value:
+                self.value = value
+        elif self.mode == "min":
+            if value < self.value:
+                self.value = value
+        else:
+            self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value, "mode": self.mode}
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow
+    bucket, with running sum and count (Prometheus-compatible shape).
+
+    ``bounds`` are inclusive upper bounds in increasing order; a value
+    lands in the first bucket whose bound is ``>= value``.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bounds must strictly increase")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value``."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += count
+        self.sum += value * count
+        self.count += count
+
+    def observe_bulk(self, values: Iterable[float],
+                     counts: Iterable[int]) -> None:
+        """Record pre-aggregated ``(value, count)`` pairs.
+
+        The bulk surface keeps the registry numpy-free while letting hot
+        callers aggregate with vectorized code first (e.g. a
+        ``np.bincount`` over a block) and hand over only the few distinct
+        values.
+        """
+        for value, count in zip(values, counts):
+            if count:
+                self.observe(float(value), int(count))
+
+    def snapshot(self) -> dict:
+        return {"type": "histogram", "bounds": list(self.bounds),
+                "counts": list(self.counts), "sum": self.sum,
+                "count": self.count}
+
+
+class MetricsRegistry:
+    """Name -> instrument table.
+
+    Accessors create on first use and are idempotent; hot paths should
+    cache the returned instrument.  ``enabled`` is True so instrumented
+    code can guard optional, more expensive aggregation work with
+    ``if reg.enabled:``.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        inst = self._instruments.get(name)
+        if inst is None or not isinstance(inst, Counter):
+            inst = self._register(name, Counter, lambda: Counter())
+        return inst  # type: ignore[return-value]
+
+    def gauge(self, name: str, mode: str = "last") -> Gauge:
+        inst = self._instruments.get(name)
+        if inst is None or not isinstance(inst, Gauge):
+            inst = self._register(name, Gauge, lambda: Gauge(mode))
+        return inst  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = POW2_BUCKETS) -> Histogram:
+        inst = self._instruments.get(name)
+        if inst is None or not isinstance(inst, Histogram):
+            inst = self._register(name, Histogram,
+                                  lambda: Histogram(bounds))
+        return inst  # type: ignore[return-value]
+
+    def _register(self, name, expected_type, factory):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = factory()
+                self._instruments[name] = inst
+        if not isinstance(inst, expected_type):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}")
+        return inst
+
+    def snapshot(self) -> dict[str, dict]:
+        """A JSON-able copy of every instrument, sorted by name."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in items}
+
+    def merge(self, snapshot: Mapping[str, dict]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this
+        registry, following each metric's merge semantics."""
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).inc(data["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, data.get("mode", "last"))
+                gauge.set(data["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, data["bounds"])
+                _merge_histogram_into(hist, data)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+def _merge_histogram_into(hist: Histogram, data: Mapping) -> None:
+    if list(hist.bounds) != [float(b) for b in data["bounds"]]:
+        raise ValueError("cannot merge histograms with different bounds")
+    for i, c in enumerate(data["counts"]):
+        hist.counts[i] += c
+    hist.sum += data["sum"]
+    hist.count += data["count"]
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float, count: int = 1) -> None:
+        return None
+
+    def observe_bulk(self, values, counts) -> None:
+        return None
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: hands out shared no-op instruments."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter()
+        self._gauge = _NullGauge()
+        self._histogram = _NullHistogram((1.0,))
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str, mode: str = "last") -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = POW2_BUCKETS) -> Histogram:
+        return self._histogram
+
+    def merge(self, snapshot: Mapping[str, dict]) -> None:
+        return None
+
+
+#: The process-wide shared no-op registry.
+NULL_REGISTRY = NullRegistry()
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The live process-wide registry, regardless of the enable switch
+    (exporters read it; instrumented code should use :func:`registry`)."""
+    return _GLOBAL
+
+
+def registry() -> MetricsRegistry:
+    """The registry instrumented code should record into *right now*:
+    the live global one, or the no-op registry when telemetry is off."""
+    return _GLOBAL if telemetry_enabled() else NULL_REGISTRY
+
+
+def reset_metrics() -> None:
+    """Clear the global registry (worker-process entry, tests)."""
+    _GLOBAL.reset()
+
+
+def merge_metrics(*snapshots: Mapping[str, dict]) -> dict[str, dict]:
+    """Pure merge of metric snapshots into a new snapshot dict.
+
+    Associative and commutative for counters, max/min gauges, and
+    histograms; ``"last"`` gauges take the right-most operand.
+    """
+    acc = MetricsRegistry()
+    for snap in snapshots:
+        acc.merge(snap)
+    return acc.snapshot()

@@ -1,0 +1,95 @@
+"""Human progress reporting for long generation runs.
+
+:class:`ProgressReporter` renders a single carriage-return-refreshed
+line (edges done, edges/s, ETA, pipeline queue high-water) to a stream.
+It is push-driven — generation call sites invoke it with the cumulative
+edge count after each block or task — and throttles its own redraws, so
+callers can invoke it as often as they like.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO
+
+from .metrics import global_registry
+
+__all__ = ["ProgressReporter", "human_count"]
+
+#: Gauge consulted for the queue-depth readout (set by the pipelined
+#: disk sink in :mod:`repro.formats.pipeline`).
+QUEUE_GAUGE = "pipeline.queue_high_water"
+
+_UNITS = ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"))
+
+
+def human_count(value: float) -> str:
+    """``1234567`` -> ``"1.23M"`` (graph-scale friendly)."""
+    for scale, suffix in _UNITS:
+        if value >= scale:
+            return f"{value / scale:.2f}{suffix}"
+    return f"{value:.0f}"
+
+
+class ProgressReporter:
+    """Throttled single-line progress display.
+
+    Call :meth:`update` with the cumulative number of edges produced so
+    far (it is also ``__call__``, so the reporter can be handed around
+    as a plain ``progress(edges_done)`` callback); call :meth:`finish`
+    once to terminate the line.
+    """
+
+    def __init__(self, total_edges: int | None = None,
+                 stream: IO[str] | None = None,
+                 min_interval: float = 0.2) -> None:
+        self.total_edges = total_edges
+        self.edges_done = 0
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval = min_interval
+        self._started = time.monotonic()
+        self._last_draw = 0.0
+        self._drew = False
+        self._finished = False
+
+    def update(self, edges_done: int, *, force: bool = False) -> None:
+        if self._finished:
+            return
+        self.edges_done = edges_done
+        now = time.monotonic()
+        if not force and now - self._last_draw < self._min_interval:
+            return
+        self._last_draw = now
+        self._draw(now)
+
+    __call__ = update
+
+    def _draw(self, now: float) -> None:
+        elapsed = max(now - self._started, 1e-9)
+        rate = self.edges_done / elapsed
+        parts = [f"{human_count(self.edges_done)} edges",
+                 f"{human_count(rate)} edges/s"]
+        if self.total_edges:
+            remaining = max(self.total_edges - self.edges_done, 0)
+            if rate > 0:
+                parts.append(f"ETA {remaining / rate:.0f}s")
+            pct = 100.0 * self.edges_done / self.total_edges
+            parts.insert(0, f"{pct:5.1f}%")
+        queue_high = global_registry().gauge(QUEUE_GAUGE, mode="max").value
+        if queue_high:
+            parts.append(f"queue<={int(queue_high)}")
+        line = "  ".join(parts)
+        self._stream.write("\r" + line.ljust(72))
+        self._stream.flush()
+        self._drew = True
+
+    def finish(self) -> None:
+        """Draw the final state and terminate the progress line."""
+        if self._finished:
+            return
+        self._draw(time.monotonic())
+        self._finished = True
+        if self._drew:
+            self._stream.write("\n")
+            self._stream.flush()

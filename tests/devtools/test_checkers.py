@@ -402,3 +402,80 @@ def test_block_streaming_prefixes_configurable(tmp_path):
                 "for u, vs in g.iter_adjacency():\n    writer.add(u, vs)\n",
                 module="mypkg.producer", config=config)
     assert codes(found) == ["RPL505"]
+
+
+# ---------------------------------------------------------------------------
+# telemetry (RPL507/RPL508)
+# ---------------------------------------------------------------------------
+
+TELEMETRY_507_FLAG = [
+    "import time\nt0 = time.perf_counter()\n",
+    "from time import perf_counter\nt0 = perf_counter()\n",
+    "import time as t\nelapsed = t.perf_counter() - t0\n",
+]
+
+TELEMETRY_507_PASS = [
+    "import time\ntime.sleep(0.1)\n",            # scheduling, not timing
+    "import time\nnow = time.monotonic()\n",     # throttling is fine
+    "from repro.telemetry import span\nwith span('x'):\n    pass\n",
+]
+
+
+@pytest.mark.parametrize("code", TELEMETRY_507_FLAG)
+def test_telemetry_flags_perf_counter_in_instrumented_layers(tmp_path, code):
+    for module in ("repro.system", "repro.dist.snippet",
+                   "repro.formats.snippet"):
+        found = run(tmp_path, "telemetry", code, module=module)
+        assert codes(found) == ["RPL507"], (module, found)
+
+
+@pytest.mark.parametrize("code", TELEMETRY_507_PASS)
+def test_telemetry_passes_non_timing_clocks(tmp_path, code):
+    assert run(tmp_path, "telemetry", code, module="repro.dist.snippet") == []
+
+
+@pytest.mark.parametrize("code", TELEMETRY_507_FLAG)
+def test_telemetry_allows_perf_counter_outside_scope(tmp_path, code):
+    # models/ and the telemetry implementation itself may read the clock.
+    for module in ("repro.models.snippet", "repro.telemetry.spans"):
+        found = [v for v in run(tmp_path, "telemetry", code, module=module)
+                 if v.code == "RPL507"]
+        assert found == [], (module, found)
+
+
+def test_telemetry_flags_bare_print_in_library_modules(tmp_path):
+    found = run(tmp_path, "telemetry", "print('done')\n",
+                module="repro.dist.snippet")
+    assert codes(found) == ["RPL508"]
+
+
+def test_telemetry_allows_print_in_cli_and_devtools(tmp_path):
+    for module in ("repro.cli", "repro.devtools.lint"):
+        assert run(tmp_path, "telemetry", "print('done')\n",
+                   module=module) == []
+
+
+def test_telemetry_prefixes_configurable(tmp_path):
+    config = config_with(
+        telemetry_span_module_prefixes=("mypkg",),
+        print_allowed_module_prefixes=("mypkg.frontend",))
+    found = run(tmp_path, "telemetry",
+                "import time\nt0 = time.perf_counter()\nprint(t0)\n",
+                module="mypkg.worker", config=config)
+    assert codes(found) == ["RPL507", "RPL508"]
+    assert run(tmp_path, "telemetry", "print('ok')\n",
+               module="mypkg.frontend", config=config) == []
+
+
+def test_telemetry_pragma_suppression(tmp_path):
+    code = ("import time\n"
+            "t0 = time.perf_counter()  # reprolint: disable=RPL507\n")
+    assert run(tmp_path, "telemetry", code,
+               module="repro.dist.snippet") == []
+
+
+def test_telemetry_layering_rule_blocks_upward_imports(tmp_path):
+    found = run(tmp_path, "layering",
+                "from repro.formats import get_format\n",
+                module="repro.telemetry.export")
+    assert codes(found) == ["RPL201"]
