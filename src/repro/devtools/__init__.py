@@ -6,27 +6,40 @@ streams of :mod:`repro.core.rng` (or graphs stop being bit-reproducible
 across worker partitionings), seed-matrix probabilities must stay
 normalized through the RecVec/NSKG arithmetic, and the high-precision
 ``Decimal`` path must never silently mix with float math.  ``reprolint``
-machine-checks those invariants on every commit with a small AST-based
-checker framework (:mod:`~repro.devtools.framework`), six project
-checkers (:mod:`~repro.devtools.checkers`), text/JSON reporters
-(:mod:`~repro.devtools.reporters`), and a CLI
-(``python -m repro.devtools.lint`` / ``trilliong-lint``).
+machine-checks those invariants on every commit.
 
-See ``docs/static_analysis.md`` for the checker catalogue and the pragma
-syntax for suppressions.
+Two layers of rules:
+
+- the syntactic checkers (:mod:`~repro.devtools.checkers`) — one
+  :class:`ast.NodeVisitor` per file;
+- the v2 analysis engine (:mod:`~repro.devtools.engine`) — per-function
+  control-flow graphs with a forward dataflow framework (RNG-stream
+  flow, atomic-write protocol, resource lifecycle) and a whole-program
+  project model (call-graph layering, dead-pragma detection), with an
+  incremental cache keyed on content + config + engine version.
+
+Reporters live in :mod:`~repro.devtools.reporters`; the CLI is
+``python -m repro.devtools.lint`` / ``trilliong-lint``.  See
+``docs/static_analysis.md`` for the rule catalogue, pragma syntax, and
+cache semantics.
 """
 
-from .framework import (Checker, LintConfig, SourceFile, Violation,
-                        all_checkers, lint_file, lint_paths,
-                        register_checker)
+from .framework import (Checker, LintConfig, ProjectChecker, SourceFile,
+                        Violation, all_checkers, all_project_checkers,
+                        lint_file, lint_paths, register_checker,
+                        register_project_checker, relaxed_profile)
 
 __all__ = [
     "Checker",
     "LintConfig",
+    "ProjectChecker",
     "SourceFile",
     "Violation",
     "all_checkers",
+    "all_project_checkers",
     "lint_file",
     "lint_paths",
     "register_checker",
+    "register_project_checker",
+    "relaxed_profile",
 ]

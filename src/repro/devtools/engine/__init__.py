@@ -1,0 +1,48 @@
+"""The ``reprolint`` v2 analysis engine.
+
+Layers, bottom to top:
+
+- :mod:`~repro.devtools.engine.cfg` — intraprocedural control-flow
+  graphs (``if``/``for``/``while``/``try``/``finally``/``with``/
+  ``return``, with ``finally`` duplication for abrupt exits and
+  explicit exceptional edges);
+- :mod:`~repro.devtools.engine.dataflow` — a forward gen/kill dataflow
+  framework (set lattice, worklist to fixpoint) checkers instantiate;
+- :mod:`~repro.devtools.engine.project` — the whole-program model:
+  per-module symbol tables, the resolved import graph (re-exports
+  included), and an approximate call graph;
+- :mod:`~repro.devtools.engine.flow_checkers` — the flow-sensitive
+  file checkers (rng-stream-flow, atomic-write, resource-lifecycle);
+- :mod:`~repro.devtools.engine.project_checkers` — the whole-program
+  checkers (callgraph-layering, dead-pragma);
+- :mod:`~repro.devtools.engine.cache` — the incremental result cache
+  (content + config + engine-version keys, project-signature
+  invalidation);
+- :mod:`~repro.devtools.engine.runner` — orchestration: cache probe,
+  file pass, project pass, dead-pragma sweep.
+"""
+
+from .cache import ENGINE_VERSION, LintCache, config_fingerprint
+from .cfg import (CFG, CFGNode, build_cfg, iter_function_cfgs,
+                  node_fragments)
+from .dataflow import ForwardAnalysis, run_forward
+from .project import ModuleSummary, ProjectModel, summarize_source
+from .runner import LintRun, run_paths
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "iter_function_cfgs",
+    "node_fragments",
+    "ForwardAnalysis",
+    "run_forward",
+    "ModuleSummary",
+    "ProjectModel",
+    "summarize_source",
+    "LintRun",
+    "run_paths",
+    "ENGINE_VERSION",
+    "LintCache",
+    "config_fingerprint",
+]

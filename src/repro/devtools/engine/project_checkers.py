@@ -1,0 +1,141 @@
+"""Whole-program checkers over the :class:`ProjectModel`.
+
+- **callgraph-layering** (RPL210) — layering violations the per-file
+  import scan (RPL201) provably cannot see: a ``from``-import whose
+  *defining* module, after following re-export chains, lives in a
+  forbidden layer even though the literal import target does not; and
+  ``importlib.import_module("...")`` / ``__import__("...")`` with a
+  string-literal target, which no import statement ever shows.
+- **dead-pragma** (RPL701) — a ``# reprolint: disable=`` comment that
+  suppressed nothing.  Runs last (``priority``) so every suppression
+  recorded by the file and project passes is visible.  A pragma is only
+  declared dead when each of its targets *provably* ran: the target's
+  checker was enabled this pass and none of its codes are switched off
+  by the directory profile — otherwise silence proves nothing.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..framework import (ProjectChecker, all_checkers, all_project_checkers,
+                         register_project_checker)
+from .project import ProjectModel
+
+__all__ = ["CallGraphLayeringChecker", "DeadPragmaChecker"]
+
+_CODE_RE = re.compile(r"^rpl\d+$")
+
+
+def _in_layer(module: str, prefixes: tuple[str, ...] | frozenset[str]
+              ) -> str | None:
+    for prefix in prefixes:
+        if module == prefix or module.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+@register_project_checker
+class CallGraphLayeringChecker(ProjectChecker):
+    """Cross-layer reach the import-statement scan cannot prove."""
+
+    name = "callgraph-layering"
+    codes = {"RPL210": "cross-layer dependency via re-export or "
+                       "dynamic import"}
+
+    def check(self, project: ProjectModel) -> None:
+        for summary in project.summaries:
+            config = project.config_for_path(summary.path)
+            banned: tuple[str, ...] = ()
+            for prefix, targets in config.layering_rules.items():
+                if _in_layer(summary.module, (prefix,)):
+                    banned = targets
+                    break
+            if not banned:
+                continue
+
+            for rec in summary.imports:
+                if rec.symbol is None:
+                    continue  # plain ``import x`` — RPL201's job
+                if _in_layer(rec.module, banned):
+                    continue  # literal target already banned — RPL201
+                defining, symbol = project.resolve(rec.module, rec.symbol)
+                if defining == rec.module:
+                    continue
+                layer = _in_layer(defining, banned)
+                if layer is not None:
+                    what = (f"module {defining}" if symbol is None
+                            else f"{defining}:{symbol}")
+                    self.flag(summary, rec.line, 0, "RPL210",
+                              f"'{rec.alias}' imported from {rec.module} "
+                              f"actually resolves to {what} in the "
+                              f"forbidden layer {layer} (re-export "
+                              f"laundering)")
+
+            for target, line in summary.dynamic_imports:
+                layer = _in_layer(target, banned)
+                if layer is not None:
+                    self.flag(summary, line, 0, "RPL210",
+                              f"dynamic import of {target!r} reaches the "
+                              f"forbidden layer {layer}: "
+                              f"importlib hides this from the import "
+                              f"graph")
+
+
+@register_project_checker
+class DeadPragmaChecker(ProjectChecker):
+    """Suppression comments that suppress nothing."""
+
+    name = "dead-pragma"
+    codes = {"RPL701": "pragma suppresses nothing"}
+    priority = 100  # after every other checker has recorded its hits
+
+    def _code_owners(self) -> dict[str, str]:
+        owners: dict[str, str] = {}
+        for registry in (all_checkers(), all_project_checkers()):
+            for name, cls in registry.items():
+                for code in cls.codes:
+                    owners[code.lower()] = name
+        return owners
+
+    def _codes_of(self) -> dict[str, frozenset[str]]:
+        codes: dict[str, frozenset[str]] = {}
+        for registry in (all_checkers(), all_project_checkers()):
+            for name, cls in registry.items():
+                codes[name] = frozenset(cls.codes)
+        return codes
+
+    def check(self, project: ProjectModel) -> None:
+        owners = self._code_owners()
+        checker_codes = self._codes_of()
+        all_names = set(checker_codes)
+        ran = project.ran_names or all_names  # empty set == everything ran
+
+        for summary in project.summaries:
+            config = project.config_for_path(summary.path)
+            off = {c.lower() for c in config.disabled_codes}
+            for pragma in summary.pragma_table.unused_pragmas():
+                if all(self._provable(t, owners, checker_codes, ran, off)
+                       for t in pragma.targets):
+                    targets = ",".join(sorted(pragma.targets))
+                    self.flag(summary, pragma.line, 0, "RPL701",
+                              f"pragma 'disable={targets}' suppresses "
+                              f"nothing: the targeted rules ran clean on "
+                              f"this line, so the comment is dead weight")
+
+    @staticmethod
+    def _provable(target: str, owners: dict[str, str],
+                  checker_codes: dict[str, frozenset[str]],
+                  ran: set[str], off: set[str]) -> bool:
+        if target == "all":
+            return not off and ran >= set(checker_codes)
+        if _CODE_RE.match(target):
+            owner = owners.get(target)
+            if owner is None:
+                return True  # a code that exists nowhere can't suppress
+            return owner in ran and target not in off
+        codes = checker_codes.get(target)
+        if codes is None:
+            return True  # unknown checker name can't suppress
+        return (target in ran
+                and not any(c.lower() in off for c in codes))

@@ -1,0 +1,178 @@
+"""Orchestration: the file pass, the project pass, and the cache.
+
+:func:`run_paths` is what :func:`repro.devtools.framework.lint_paths`
+and the CLI call.  Per file it either replays a cached result (skipping
+the parse entirely) or parses, runs the file checkers, and summarizes;
+then it assembles the :class:`ProjectModel` from the summaries and runs
+the project checkers — themselves cached under a whole-tree signature.
+
+Per-directory profiles apply automatically: any file whose path has a
+``tests`` or ``benchmarks`` component is linted under
+:func:`~repro.devtools.framework.relaxed_profile` (fixtures may print,
+seed ad-hoc RNGs, and re-derive streams to *assert* determinism).
+Pass ``profiles={}`` to disable, or a custom mapping of path component
+-> config to override.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..framework import (LintConfig, SourceFile, Violation, _select,
+                         _select_project, iter_python_files,
+                         relaxed_profile)
+from .cache import LintCache, config_fingerprint, file_key
+from .project import ModuleSummary, ProjectModel, summarize_source
+
+__all__ = ["LintRun", "run_paths", "default_profiles"]
+
+
+@dataclass
+class LintRun:
+    """Everything one lint invocation produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    project_cache_hit: bool = False
+
+
+def default_profiles(config: LintConfig) -> dict[str, LintConfig]:
+    relaxed = relaxed_profile(config)
+    return {"tests": relaxed, "benchmarks": relaxed}
+
+
+def _config_for(path: Path, config: LintConfig,
+                profiles: dict[str, LintConfig]) -> LintConfig:
+    for part in path.parts:
+        if part in profiles:
+            return profiles[part]
+    return config
+
+
+def _project_signature(selection: str,
+                       records: list[tuple[str, str, dict, list]]) -> str:
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(selection.encode("utf-8"))
+    for path, config_fp, summary_doc, suppressed in sorted(records):
+        blob = json.dumps([path, config_fp, summary_doc, suppressed],
+                          sort_keys=True, separators=(",", ":"))
+        digest.update(blob.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def run_paths(paths: Iterable[Path | str],
+              config: LintConfig | None = None, *,
+              enabled: Iterable[str] | None = None,
+              disabled: Iterable[str] | None = None,
+              cache_dir: Path | str | None = None,
+              profiles: dict[str, LintConfig] | None = None) -> LintRun:
+    """Run the full v2 analysis over every ``.py`` file under ``paths``."""
+    config = config or LintConfig()
+    file_classes = _select(enabled, disabled)
+    project_classes = _select_project(enabled, disabled)
+    if profiles is None:
+        profiles = default_profiles(config)
+
+    selection = json.dumps(
+        sorted(c.name for c in file_classes)
+        + sorted(c.name for c in project_classes))
+    cache = LintCache(cache_dir) if cache_dir is not None else None
+    fingerprints: dict[int, str] = {}
+
+    run = LintRun()
+    summaries: list[ModuleSummary] = []
+    configs_by_path: dict[str, LintConfig] = {}
+    signature_records: list[tuple[str, str, dict, list]] = []
+
+    for path in iter_python_files(paths):
+        file_config = _config_for(path, config, profiles)
+        configs_by_path[str(path)] = file_config
+        config_fp = fingerprints.get(id(file_config))
+        if config_fp is None:
+            config_fp = config_fingerprint(file_config)
+            fingerprints[id(file_config)] = config_fp
+
+        key = ""
+        if cache is not None:
+            key = file_key(path, path.read_bytes(), config_fp, selection)
+            entry = cache.get(key)
+            if entry is not None:
+                run.files_checked += 1
+                if entry.get("skip"):
+                    continue
+                run.violations.extend(
+                    Violation.from_dict(v) for v in entry["violations"])
+                summary = ModuleSummary.from_json(entry["summary"])
+                suppressed = [[int(line), str(t)]
+                              for line, t in entry["suppressed"]]
+                summary.pragma_table.used.update(
+                    (line, t) for line, t in suppressed)
+                summaries.append(summary)
+                signature_records.append(
+                    (str(path), config_fp, entry["summary"], suppressed))
+                continue
+
+        source = SourceFile.parse(path)
+        run.files_checked += 1
+        if source.skip:
+            if cache is not None:
+                cache.put(key, {"skip": True})
+            continue
+        file_violations: list[Violation] = []
+        for cls in file_classes:
+            file_violations.extend(cls(source, file_config).run())
+        summary = summarize_source(source)
+        summary_doc = summary.to_json()
+        suppressed = [[line, t]
+                      for line, t in sorted(source.pragma_table.used)]
+        if cache is not None:
+            cache.put(key, {
+                "skip": False,
+                "violations": [v.to_dict() for v in file_violations],
+                "suppressed": suppressed,
+                "summary": summary_doc,
+            })
+        run.violations.extend(file_violations)
+        summaries.append(summary)
+        signature_records.append(
+            (str(path), config_fp, summary_doc, suppressed))
+
+    # -- project pass --------------------------------------------------
+    if project_classes:
+        signature = _project_signature(selection, signature_records)
+        cached = cache.get_project(signature) if cache is not None else None
+        if cached is not None:
+            run.violations.extend(Violation.from_dict(v) for v in cached)
+        else:
+            project = ProjectModel(summaries, config, configs_by_path)
+            project.ran_names = ({c.name for c in file_classes}
+                                 | {c.name for c in project_classes})
+            project.ran_codes = {code for c in file_classes
+                                 for code in c.codes}
+            project.ran_codes |= {code for c in project_classes
+                                  for code in c.codes}
+            project_violations: list[Violation] = []
+            for cls in project_classes:
+                project_violations.extend(cls(config).run(project))
+            run.violations.extend(project_violations)
+            if cache is not None:
+                cache.put_project(
+                    signature,
+                    [v.to_dict() for v in project_violations])
+
+    if cache is not None:
+        run.cache_hits = cache.hits
+        run.cache_misses = cache.misses
+        run.project_cache_hit = cache.project_hit
+        cache.save()
+
+    run.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return run

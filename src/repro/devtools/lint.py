@@ -2,19 +2,26 @@
 ``trilliong-lint`` console script.
 
 Exit codes: 0 clean, 1 findings, 2 usage / unreadable / unparseable input.
+
+The v2 engine runs by default: file checkers, the whole-program project
+checkers (call-graph layering, dead-pragma), per-directory profiles
+(``tests``/``benchmarks`` get the relaxed policy), and the incremental
+cache under ``.reprolint_cache/`` (``--no-cache`` to bypass,
+``--cache-dir`` to relocate, ``--stats`` to see hit rates).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
-from .framework import LintConfig, all_checkers, lint_paths
+from .framework import LintConfig, all_checkers, all_project_checkers
 from .reporters import json_report, text_report
 
-__all__ = ["main", "build_parser", "default_target"]
+__all__ = ["main", "build_parser", "default_target", "default_cache_dir"]
 
 
 def default_target() -> Path:
@@ -22,13 +29,21 @@ def default_target() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
+def default_cache_dir() -> Path:
+    """Incremental-cache location: ``.reprolint_cache`` in the CWD."""
+    return Path(".reprolint_cache")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="trilliong-lint",
         description="Project-specific static analysis for the TrillionG "
-                    "reproduction (RNG determinism, layering, numerical "
-                    "safety, exception hygiene, API completeness, mutable "
-                    "defaults).")
+                    "reproduction: syntactic rules (RNG determinism, "
+                    "layering, numerical safety, exception hygiene, API "
+                    "completeness, mutable defaults) plus the v2 dataflow "
+                    "engine (RNG-stream flow, atomic-write protocol, "
+                    "resource lifecycle, call-graph layering, dead "
+                    "pragmas).")
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to lint "
                              "(default: the installed repro package)")
@@ -41,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated checker names to skip")
     parser.add_argument("--list-checkers", action="store_true",
                         help="list registered checkers and exit")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the incremental cache entirely")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="cache location (default: ./.reprolint_cache)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache and timing statistics to stderr")
     return parser
 
 
@@ -55,28 +77,47 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_checkers:
-        for name, cls in sorted(all_checkers().items()):
-            codes = ", ".join(sorted(cls.codes))
-            print(f"{name:20s} {codes}")
+        rows = [(name, cls.codes) for name, cls in all_checkers().items()]
+        rows += [(f"{name} (project)", cls.codes)
+                 for name, cls in all_project_checkers().items()]
+        for name, codes in sorted(rows):
+            print(f"{name:30s} {', '.join(sorted(codes))}")
         return 0
 
     paths = args.paths or [default_target()]
+    cache_dir: Path | None
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or default_cache_dir()
+
+    from .engine.runner import run_paths
+
+    started = time.perf_counter()
     try:
-        violations, files_checked = lint_paths(
-            paths, LintConfig(),
-            enabled=_split(args.select), disabled=_split(args.ignore))
+        run = run_paths(paths, LintConfig(),
+                        enabled=_split(args.select),
+                        disabled=_split(args.ignore),
+                        cache_dir=cache_dir)
     except (FileNotFoundError, KeyError) as exc:
         print(f"trilliong-lint: error: {exc}", file=sys.stderr)
         return 2
     except SyntaxError as exc:
         print(f"trilliong-lint: syntax error: {exc}", file=sys.stderr)
         return 2
+    elapsed = time.perf_counter() - started
 
     if args.format == "json":
-        print(json_report(violations, files_checked))
+        print(json_report(run.violations, run.files_checked))
     else:
-        print(text_report(violations, files_checked))
-    return 1 if violations else 0
+        print(text_report(run.violations, run.files_checked))
+    if args.stats:
+        mode = "off" if cache_dir is None else str(cache_dir)
+        print(f"trilliong-lint: {elapsed:.2f}s, cache={mode}, "
+              f"hits={run.cache_hits}, misses={run.cache_misses}, "
+              f"project_pass={'cached' if run.project_cache_hit else 'run'}",
+              file=sys.stderr)
+    return 1 if run.violations else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

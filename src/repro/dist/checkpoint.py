@@ -185,11 +185,16 @@ class CheckpointedRun:
 
     def _save(self) -> None:
         tmp = self.manifest_path.with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(json.dumps(self.state.to_json(), indent=2))
-            handle.flush()
-            os.fsync(handle.fileno())
-        tmp.replace(self.manifest_path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(self.state.to_json(), indent=2))
+                handle.flush()
+                os.fsync(handle.fileno())
+            tmp.replace(self.manifest_path)
+        finally:
+            # a failed write must not strand the .tmp manifest (the
+            # recovery sweep only adopts *.partial* chunk files)
+            tmp.unlink(missing_ok=True)
         fsync_dir(self.out_dir)
 
     # ------------------------------------------------------------------
@@ -242,11 +247,14 @@ class CheckpointedRun:
             final_path = self.out_dir / name
             tmp_path = self.out_dir / f"{name}.partial.{os.getpid()}"
             with span("checkpoint.chunk"):
-                result = fmt.write_blocks(
-                    tmp_path, self.generator.iter_blocks(lo, hi),
-                    self.generator.num_vertices)
-                fsync_file(tmp_path)
-                tmp_path.replace(final_path)
+                try:
+                    result = fmt.write_blocks(
+                        tmp_path, self.generator.iter_blocks(lo, hi),
+                        self.generator.num_vertices)
+                    fsync_file(tmp_path)
+                    tmp_path.replace(final_path)
+                finally:
+                    tmp_path.unlink(missing_ok=True)
                 fsync_dir(self.out_dir)
                 self.mark_complete(name, result.num_edges)
             done += 1

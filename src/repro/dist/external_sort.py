@@ -1,10 +1,20 @@
-"""Backward-compatible alias: the external sort moved to
-:mod:`repro.util.external_sort` so the ``models`` layer can use it
-without importing ``dist`` (reprolint's layering rule RPL201)."""
+"""Deprecated alias: the external sort lives in
+:mod:`repro.util.external_sort` (the ``util`` bottom layer) since the
+layering cleanup.  Nothing in-repo imports this module any more — the
+reprolint project model proves it — so it now exists only to keep old
+out-of-tree callers limping along, loudly.
+"""
 
 from __future__ import annotations
+
+import warnings
 
 from ..util.external_sort import (external_sort_unique, merge_sorted_runs,
                                   write_run)
 
 __all__ = ["write_run", "external_sort_unique", "merge_sorted_runs"]
+
+warnings.warn(
+    "repro.dist.external_sort is deprecated; import from "
+    "repro.util.external_sort instead",
+    DeprecationWarning, stacklevel=2)

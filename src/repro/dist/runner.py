@@ -160,10 +160,13 @@ def _worker_chunk(args: tuple) -> WorkerResult:
         final = Path(final_path)
         tmp = final.with_name(
             f"{final.name}.partial.{mp.current_process().pid}")
-        result = fmt.write_blocks(tmp, generator.iter_blocks(start, stop),
-                                  generator.num_vertices)
-        fsync_file(tmp)
-        tmp.replace(final)
+        try:
+            result = fmt.write_blocks(tmp, generator.iter_blocks(start, stop),
+                                      generator.num_vertices)
+            fsync_file(tmp)
+            tmp.replace(final)
+        finally:
+            tmp.unlink(missing_ok=True)
         fsync_dir(final.parent)
     return WorkerResult(chunk, start, stop, result.num_edges,
                         str(final), sp.seconds,

@@ -1,9 +1,19 @@
-"""Backward-compatible alias: the hash shuffle moved to
-:mod:`repro.util.shuffle` so the ``models`` layer can use it without
-importing ``dist`` (reprolint's layering rule RPL201)."""
+"""Deprecated alias: the hash shuffle lives in
+:mod:`repro.util.shuffle` (the ``util`` bottom layer) since the
+layering cleanup.  Nothing in-repo imports this module any more — the
+reprolint project model proves it — so it now exists only to keep old
+out-of-tree callers limping along, loudly.
+"""
 
 from __future__ import annotations
+
+import warnings
 
 from ..util.shuffle import hash_partition, mix64, partition_sizes
 
 __all__ = ["mix64", "hash_partition", "partition_sizes"]
+
+warnings.warn(
+    "repro.dist.shuffle is deprecated; import from repro.util.shuffle "
+    "instead",
+    DeprecationWarning, stacklevel=2)

@@ -1,0 +1,172 @@
+"""Incremental-cache behaviour: warm-run speedup over the real tree,
+result equality, content/config/selection invalidation, and the
+``--no-cache`` escape hatch."""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.devtools import LintConfig
+from repro.devtools.engine import (ENGINE_VERSION, LintCache,
+                                   config_fingerprint, run_paths)
+from repro.devtools.engine.cache import file_key
+from repro.devtools.framework import config_with
+
+SRC_REPRO = Path(__file__).resolve().parents[3] / "src" / "repro"
+
+
+def make_tree(tmp_path: Path) -> Path:
+    tree = tmp_path / "proj"
+    pkg = tree / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "alpha.py").write_text("def a():\n    return 1\n")
+    (pkg / "beta.py").write_text("from pkg.alpha import a\n\n"
+                                 "def b():\n    return a()\n")
+    (pkg / "gamma.py").write_text("def c(path):\n"
+                                  "    fh = open(path)\n"
+                                  "    data = fh.read(1)\n"
+                                  "    return data\n")
+    return tree
+
+
+def lint(tree, cache_dir, config=None, enabled=None):
+    return run_paths([tree], config or LintConfig(),
+                     enabled=enabled, cache_dir=cache_dir)
+
+
+# -- the acceptance benchmark ------------------------------------------
+
+
+def test_warm_cache_at_least_2x_faster_over_src_repro(tmp_path):
+    cache_dir = tmp_path / "cache"
+
+    t0 = time.perf_counter()
+    cold = run_paths([SRC_REPRO], LintConfig(), cache_dir=cache_dir)
+    t1 = time.perf_counter()
+    warm = run_paths([SRC_REPRO], LintConfig(), cache_dir=cache_dir)
+    t2 = time.perf_counter()
+
+    assert cold.cache_misses == cold.files_checked > 0
+    assert warm.cache_hits == warm.files_checked == cold.files_checked
+    assert warm.cache_misses == 0
+    assert warm.project_cache_hit
+    assert warm.violations == cold.violations
+    cold_s, warm_s = t1 - t0, t2 - t1
+    assert cold_s >= 2 * warm_s, (
+        f"warm run not fast enough: cold={cold_s:.3f}s warm={warm_s:.3f}s")
+
+
+# -- invalidation ------------------------------------------------------
+
+
+def test_comment_edit_misses_one_file_but_keeps_project_pass(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    lint(tree, cache_dir)
+
+    target = tree / "pkg" / "alpha.py"
+    target.write_text(target.read_text() + "# trailing comment\n")
+    warm = lint(tree, cache_dir)
+
+    assert warm.cache_misses == 1
+    assert warm.cache_hits == warm.files_checked - 1
+    # the comment changes the content hash but not the module summary,
+    # so the whole-program pass is still served from the cache
+    assert warm.project_cache_hit
+
+
+def test_new_definition_invalidates_the_project_pass(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    lint(tree, cache_dir)
+
+    target = tree / "pkg" / "alpha.py"
+    target.write_text(target.read_text() + "\ndef extra():\n    return 2\n")
+    warm = lint(tree, cache_dir)
+
+    assert warm.cache_misses == 1
+    assert not warm.project_cache_hit
+
+
+def test_config_change_invalidates_everything(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    cold = lint(tree, cache_dir)
+    warm = lint(tree, cache_dir,
+                config=config_with(
+                    atomic_write_module_prefixes=("pkg",)))
+    assert cold.cache_misses == cold.files_checked
+    assert warm.cache_misses == warm.files_checked
+
+
+def test_checker_selection_is_part_of_the_key(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    lint(tree, cache_dir, enabled=["resource-lifecycle"])
+    warm = lint(tree, cache_dir, enabled=["rng-stream-flow"])
+    assert warm.cache_misses == warm.files_checked
+
+
+def test_no_cache_mode_reports_no_hits(tmp_path):
+    tree = make_tree(tmp_path)
+    first = lint(tree, None)
+    second = lint(tree, None)
+    assert first.cache_hits == second.cache_hits == 0
+    assert first.cache_misses == second.cache_misses == 0
+    assert not second.project_cache_hit
+    assert first.violations == second.violations
+
+
+def test_cached_violations_replay_identically(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    cold = lint(tree, cache_dir, enabled=["resource-lifecycle"])
+    warm = lint(tree, cache_dir, enabled=["resource-lifecycle"])
+    assert [v.code for v in cold.violations] == ["RPL320"]
+    assert warm.violations == cold.violations
+    assert warm.cache_hits == warm.files_checked
+
+
+# -- key construction --------------------------------------------------
+
+
+def test_file_key_depends_on_content_config_and_version(tmp_path):
+    path = tmp_path / "m.py"
+    path.write_text("x = 1\n")
+    fp = config_fingerprint(LintConfig())
+    base = file_key(path, path.read_bytes(), fp, "sel")
+    assert base == file_key(path, path.read_bytes(), fp, "sel")
+    assert base != file_key(path, b"x = 2\n", fp, "sel")
+    assert base != file_key(path, path.read_bytes(),
+                            config_fingerprint(config_with(
+                                atomic_write_module_prefixes=("z",))), "sel")
+    assert base != file_key(path, path.read_bytes(), fp, "other-sel")
+    assert ENGINE_VERSION in base or len(base) == 64  # hashed in
+
+
+def test_config_fingerprint_is_order_insensitive(tmp_path):
+    a = config_with(disabled_codes=frozenset({"RPL101", "RPL320"}))
+    b = config_with(disabled_codes=frozenset({"RPL320", "RPL101"}))
+    assert config_fingerprint(a) == config_fingerprint(b)
+
+
+def test_cache_survives_reload_and_prunes_unseen_entries(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cache = LintCache(cache_dir)
+    cache.put("k1", {"skip": False, "violations": [], "suppressed": [],
+                     "summary": {}})
+    cache.put("k2", {"skip": True})
+    cache.save()
+
+    reloaded = LintCache(cache_dir)
+    assert reloaded.get("k1") is not None
+    assert reloaded.get("k2") == {"skip": True}
+
+    # a save that only touched k1 prunes the stale k2 record
+    third = LintCache(cache_dir)
+    assert third.get("k1") is not None
+    third.save()
+    fourth = LintCache(cache_dir)
+    assert fourth.get("k2") is None

@@ -1,0 +1,272 @@
+"""CFG construction and dataflow edge cases: try/finally joins,
+while/else, nested with, comprehension scoping, early return inside
+with, break/continue through finally, and exceptional-edge semantics."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.engine import (ForwardAnalysis, build_cfg,
+                                   iter_function_cfgs, run_forward)
+from repro.devtools.engine.cfg import assigned_names, node_fragments
+
+
+def cfg_of(code: str):
+    fn = ast.parse(code).body[0]
+    return build_cfg(fn)
+
+
+def node(cfg, kind, line=None):
+    hits = [n for n in cfg.nodes if n.kind == kind
+            and (line is None or n.line == line)]
+    assert hits, f"no {kind} node" + (f" at line {line}" if line else "")
+    return hits[0]
+
+
+class TrackOpens(ForwardAnalysis):
+    """Toy leak analysis: fact 'h' gens at open(), kills at .close()."""
+
+    def transfer(self, node, facts):
+        out = set(facts)
+        for frag in node_fragments(node):
+            for sub in ast.walk(frag):
+                if isinstance(sub, ast.Call):
+                    if (isinstance(sub.func, ast.Name)
+                            and sub.func.id == "open"):
+                        out.add("h")
+                    if (isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr == "close"):
+                        out.discard("h")
+        return frozenset(out)
+
+
+def exit_facts(code: str):
+    cfg = cfg_of(code)
+    results = run_forward(cfg, TrackOpens())
+    normal, _exc = cfg.preds()
+    merged = set()
+    for pred in normal[cfg.exit.index]:
+        merged |= results[pred.index][1]
+    return merged
+
+
+# -- structure ---------------------------------------------------------
+
+
+def test_if_without_else_falls_through():
+    cfg = cfg_of("def f(x):\n    if x:\n        a = 1\n    b = 2\n")
+    branch = node(cfg, "branch")
+    succ_lines = sorted(s.line for s in branch.succs)
+    assert succ_lines == [3, 4]  # then-branch and fall-through
+
+
+def test_while_else_runs_on_exhaustion_not_break():
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    while x:\n"          # 2
+        "        if x > 3:\n"     # 3
+        "            break\n"     # 4
+        "        x -= 1\n"        # 5
+        "    else:\n"
+        "        x = -1\n"        # 7
+        "    return x\n"          # 8
+    )
+    loop = node(cfg, "loop")
+    # exhaustion path enters the else body
+    assert 7 in {s.line for s in loop.succs}
+    # break jumps straight to the statement after the loop, skipping else
+    brk = node(cfg, "break")
+    assert {s.line for s in brk.succs} == {8}
+    els = [n for n in cfg.nodes if n.line == 7][0]
+    assert {s.line for s in els.succs} == {8}
+
+
+def test_early_return_inside_with_bypasses_with_end():
+    cfg = cfg_of(
+        "def f(p, flag):\n"
+        "    with open(p) as fh:\n"   # 2
+        "        if flag:\n"          # 3
+        "            return None\n"   # 4
+        "        data = fh.read()\n"  # 5
+        "    return data\n"           # 6
+    )
+    ret = node(cfg, "return", line=4)
+    assert ret.succs == [cfg.exit]
+    with_end = node(cfg, "with_end")
+    assert {p.line for p in cfg.preds()[0][with_end.index]} == {5}
+
+
+def test_nested_with_unwinds_inner_then_outer():
+    cfg = cfg_of(
+        "def f(a, b):\n"
+        "    with a:\n"        # 2
+        "        with b:\n"    # 3
+        "            x = 1\n"  # 4
+        "    return x\n"       # 5
+    )
+    ends = [n for n in cfg.nodes if n.kind == "with_end"]
+    assert len(ends) == 2
+    inner = next(n for n in ends if n.line == 3)
+    outer = next(n for n in ends if n.line == 2)
+    assert outer in inner.succs
+
+
+def test_try_finally_joins_both_normal_and_abrupt_exits():
+    cfg = cfg_of(
+        "def f(p, flag):\n"
+        "    fh = open(p)\n"        # 2
+        "    try:\n"                # 3
+        "        if flag:\n"        # 4
+        "            return 1\n"    # 5
+        "        x = 2\n"           # 6
+        "    finally:\n"
+        "        fh.close()\n"      # 8
+        "    return x\n"            # 9
+    )
+    # the finally body is duplicated: once for the return path, once for
+    # the fall-through join, once as the exception escape chain
+    closes = [n for n in cfg.nodes if n.line == 8]
+    assert len(closes) == 3
+    ret = node(cfg, "return", line=5)
+    # the return routes through a finally copy before reaching exit
+    assert {s.line for s in ret.succs} == {8}
+    copy = ret.succs[0]
+    assert cfg.exit in copy.succs
+
+
+def test_continue_through_finally_returns_to_loop_head():
+    cfg = cfg_of(
+        "def f(xs):\n"
+        "    for x in xs:\n"       # 2
+        "        try:\n"           # 3
+        "            if x:\n"      # 4
+        "                continue\n"  # 5
+        "        finally:\n"
+        "            log(x)\n"     # 7
+        "    return xs\n"          # 8
+    )
+    cont = node(cfg, "continue")
+    copy = cont.succs[0]
+    assert copy.line == 7
+    loop = node(cfg, "loop")
+    assert loop in copy.succs
+
+
+def test_except_handler_receives_exceptional_edges():
+    cfg = cfg_of(
+        "def f(p):\n"
+        "    try:\n"               # 2
+        "        fh = open(p)\n"   # 3
+        "    except OSError:\n"    # 4
+        "        return None\n"    # 5
+        "    return fh\n"          # 6
+    )
+    body = [n for n in cfg.nodes if n.line == 3][0]
+    handler = node(cfg, "except")
+    assert handler in body.exc_succs
+
+
+def test_match_without_wildcard_can_fall_through():
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    match x:\n"           # 2
+        "        case 1:\n"
+        "            a = 1\n"      # 4
+        "    return x\n"           # 5
+    )
+    branch = node(cfg, "branch")
+    assert 5 in {s.line for s in branch.succs}
+
+
+# -- assigned_names / comprehension scoping ----------------------------
+
+
+def test_comprehension_targets_do_not_bind_in_enclosing_scope():
+    stmt = ast.parse("ys = [fh for fh in handles]").body[0]
+    assert assigned_names(stmt) == {"ys"}
+
+
+def test_assigned_names_cover_loop_with_import_and_defs():
+    mod = ast.parse(
+        "for i, (a, b) in pairs: pass\n"
+        "with open(p) as fh: pass\n"
+        "import os.path\n"
+        "from x import y as z\n"
+        "def g(): pass\n"
+    )
+    names = set()
+    for stmt in mod.body:
+        names |= assigned_names(stmt)
+    assert names == {"i", "a", "b", "fh", "os", "z", "g"}
+
+
+# -- dataflow ----------------------------------------------------------
+
+
+def test_dataflow_sees_leak_on_one_branch():
+    leaked = exit_facts(
+        "def f(p, flag):\n"
+        "    fh = open(p)\n"
+        "    if flag:\n"
+        "        return 1\n"
+        "    fh.close()\n"
+        "    return 0\n"
+    )
+    assert "h" in leaked
+
+
+def test_dataflow_finally_close_covers_every_path():
+    leaked = exit_facts(
+        "def f(p, flag):\n"
+        "    fh = open(p)\n"
+        "    try:\n"
+        "        if flag:\n"
+        "            return 1\n"
+        "        return 0\n"
+        "    finally:\n"
+        "        fh.close()\n"
+    )
+    assert "h" not in leaked
+
+
+def test_exceptional_edge_carries_in_facts_not_out_facts():
+    # the close() inside try may never run when its own statement
+    # raises; the handler must still see the handle as open
+    cfg = cfg_of(
+        "def f(p):\n"
+        "    fh = open(p)\n"        # 2
+        "    try:\n"                # 3
+        "        fh.close()\n"      # 4
+        "    except OSError:\n"     # 5
+        "        pass\n"            # 6
+    )
+    results = run_forward(cfg, TrackOpens())
+    handler = node(cfg, "except")
+    assert "h" in results[handler.index][0]
+
+
+def test_compound_headers_transfer_only_their_fragment():
+    # an `ast.walk` over the whole Try statement would see the
+    # finally's close() at the try head and kill the fact prematurely
+    cfg = cfg_of(
+        "def f(p, flag):\n"
+        "    fh = open(p)\n"
+        "    try:\n"
+        "        x = 1\n"           # 4
+        "    finally:\n"
+        "        fh.close()\n"
+    )
+    results = run_forward(cfg, TrackOpens())
+    body = [n for n in cfg.nodes if n.line == 4][0]
+    assert "h" in results[body.index][0]
+
+
+def test_iter_function_cfgs_finds_nested_defs():
+    tree = ast.parse(
+        "def outer():\n"
+        "    def inner():\n"
+        "        return 1\n"
+        "    return inner\n"
+    )
+    names = [fn.name for fn, _ in iter_function_cfgs(tree)]
+    assert sorted(names) == ["inner", "outer"]

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.dist.external_sort import (external_sort_unique,
+from repro.util.external_sort import (external_sort_unique,
                                       merge_sorted_runs, write_run)
 
 
@@ -98,3 +98,15 @@ def test_external_sort_property(tmp_path, arrays, chunk):
         else np.empty(0, dtype=np.int64)
     out = external_sort_unique(paths, chunk_items=chunk)
     np.testing.assert_array_equal(out, expected)
+
+
+def test_deprecated_dist_shim_warns_and_aliases():
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.dist.external_sort", None)
+    with pytest.warns(DeprecationWarning,
+                      match="repro.util.external_sort"):
+        shim = importlib.import_module("repro.dist.external_sort")
+    assert shim.external_sort_unique is external_sort_unique
+    assert shim.write_run is write_run

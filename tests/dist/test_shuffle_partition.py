@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.generator import RecursiveVectorGenerator
 from repro.dist.partition import Bin, combine, range_partition, repartition
-from repro.dist.shuffle import hash_partition, mix64, partition_sizes
+from repro.util.shuffle import hash_partition, mix64, partition_sizes
 
 
 class TestMix64:
@@ -155,3 +155,14 @@ class TestRangePartition:
         g = RecursiveVectorGenerator(10, 16, seed=4)
         with pytest.raises(ValueError):
             range_partition(g, 0)
+
+
+def test_deprecated_dist_shim_warns_and_aliases():
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.dist.shuffle", None)
+    with pytest.warns(DeprecationWarning, match="repro.util.shuffle"):
+        shim = importlib.import_module("repro.dist.shuffle")
+    assert shim.mix64 is mix64
+    assert shim.hash_partition is hash_partition
