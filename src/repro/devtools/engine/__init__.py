@@ -13,6 +13,9 @@ Layers, bottom to top:
   included), and an approximate call graph;
 - :mod:`~repro.devtools.engine.flow_checkers` — the flow-sensitive
   file checkers (rng-stream-flow, atomic-write, resource-lifecycle);
+- :mod:`~repro.devtools.engine.concurrency_checkers` — the RPL6xx
+  concurrency family (thread-shared-state, thread-lifecycle, and the
+  whole-program spawn-hygiene rules);
 - :mod:`~repro.devtools.engine.project_checkers` — the whole-program
   checkers (callgraph-layering, dead-pragma);
 - :mod:`~repro.devtools.engine.cache` — the incremental result cache

@@ -101,6 +101,14 @@ class ClassInfo:
                    bases=list(doc["bases"]))  # type: ignore[call-overload]
 
 
+#: Call basenames recorded as spawn sites (a config-independent
+#: superset; the spawn-hygiene checker filters by the active config's
+#: ``worker_submit_calls``).
+_SPAWN_CANDIDATES = frozenset(
+    {"Process", "Thread", "submit", "apply_async", "run_tasks",
+     "map_async", "starmap_async", "dumps"})
+
+
 @dataclass
 class ModuleSummary:
     """The cacheable whole-program interface of one source file."""
@@ -118,6 +126,13 @@ class ModuleSummary:
     #: ``importlib.import_module("x")`` / ``__import__("x")`` calls with
     #: a string-literal target — imports no import statement ever shows
     dynamic_imports: list[tuple[str, int]] = field(default_factory=list)
+    #: environment reads (``os.environ.get`` / ``os.getenv`` /
+    #: ``environ[...]``): ``(enclosing qualname, line, var-or-"")``
+    env_reads: list[tuple[str, int, str]] = field(default_factory=list)
+    #: worker-spawn call sites: ``{"line", "function", "callee",
+    #: "workers"}`` where ``workers`` are the candidate worker-callable
+    #: expressions (dotted chains or ``"<lambda>"``)
+    spawn_sites: list[dict] = field(default_factory=list)
     pragma_table: PragmaTable = field(default_factory=PragmaTable)
 
     def bindings(self) -> dict[str, ImportRecord]:
@@ -137,6 +152,9 @@ class ModuleSummary:
             "defs": sorted(self.defs),
             "exports": self.exports,
             "dynamic_imports": [[m, line] for m, line in self.dynamic_imports],
+            "env_reads": [[q, line, var]
+                          for q, line, var in self.env_reads],
+            "spawn_sites": self.spawn_sites,
             "pragmas": self.pragma_table.to_json(),
         }
 
@@ -154,6 +172,12 @@ class ModuleSummary:
                      else [str(e) for e in doc["exports"]]),  # type: ignore[union-attr]
             dynamic_imports=[(str(m), int(line))
                              for m, line in doc["dynamic_imports"]],  # type: ignore[union-attr]
+            # .get defaults keep pre-2.1 cached summaries loadable (the
+            # cache also versions on ENGINE_VERSION, so this is belt and
+            # braces for hand-rolled docs in tests).
+            env_reads=[(str(q), int(line), str(var))
+                       for q, line, var in doc.get("env_reads", [])],  # type: ignore[union-attr]
+            spawn_sites=list(doc.get("spawn_sites", [])),  # type: ignore[call-overload]
             pragma_table=PragmaTable.from_json(doc["pragmas"]),  # type: ignore[arg-type]
         )
 
@@ -286,10 +310,44 @@ class _Summarizer(ast.NodeVisitor):
 
     # calls ------------------------------------------------------------
 
+    def _qual(self) -> str:
+        return ".".join(self.class_stack + self.func_stack) or "<module>"
+
+    @staticmethod
+    def _worker_expr(node: ast.expr) -> str | None:
+        """Render a candidate worker callable: a dotted chain, the
+        ``"<lambda>"`` marker, or ``None`` for anything opaque."""
+        if isinstance(node, ast.Lambda):
+            return "<lambda>"
+        return _call_chain(node)
+
+    def _record_spawn(self, node: ast.Call, chain: str, qual: str) -> None:
+        workers: list[str] = []
+        for kw in node.keywords:
+            if kw.arg == "target":
+                expr = self._worker_expr(kw.value)
+                if expr is not None:
+                    workers.append(expr)
+        for arg in node.args:
+            expr = self._worker_expr(arg)
+            if expr is not None:
+                workers.append(expr)
+        self.summary.spawn_sites.append({
+            "line": node.lineno, "function": qual,
+            "callee": chain, "workers": workers})
+
+    def _record_env_read(self, node: ast.Call, chain: str,
+                         qual: str) -> None:
+        var = ""
+        if (node.args and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            var = node.args[0].value
+        self.summary.env_reads.append((qual, node.lineno, var))
+
     def visit_Call(self, node: ast.Call) -> None:
         chain = _call_chain(node.func)
         if chain is not None:
-            qual = ".".join(self.class_stack + self.func_stack) or "<module>"
+            qual = self._qual()
             info = self.summary.functions.get(qual)
             if info is None:
                 info = self.summary.functions.setdefault(
@@ -301,6 +359,22 @@ class _Summarizer(ast.NodeVisitor):
                     and isinstance(node.args[0].value, str)):
                 self.summary.dynamic_imports.append(
                     (node.args[0].value, node.lineno))
+            if tail in _SPAWN_CANDIDATES:
+                self._record_spawn(node, chain, qual)
+            if tail == "getenv" or chain.endswith("environ.get"):
+                self._record_env_read(node, chain, qual)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        chain = _call_chain(node.value)
+        if chain is not None and (chain == "environ"
+                                  or chain.endswith(".environ")):
+            var = ""
+            if (isinstance(node.slice, ast.Constant)
+                    and isinstance(node.slice.value, str)):
+                var = node.slice.value
+            self.summary.env_reads.append(
+                (self._qual(), node.lineno, var))
         self.generic_visit(node)
 
 

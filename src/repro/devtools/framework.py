@@ -217,7 +217,13 @@ class LintConfig:
         # so it must import none of them (or instrumentation would cycle).
         "repro.telemetry": ("repro.core", "repro.models", "repro.dist",
                             "repro.formats", "repro.cluster", "repro.cli",
-                            "repro.system", "repro.util"),
+                            "repro.system", "repro.util",
+                            "repro.sanitize"),
+        # the sanitizer sits beside telemetry at the bottom: rng and the
+        # format pipeline call into it, so it may import nothing above.
+        "repro.sanitize": ("repro.core", "repro.models", "repro.dist",
+                           "repro.formats", "repro.cluster", "repro.cli",
+                           "repro.system", "repro.util", "repro.telemetry"),
     })
     #: Modules whose Decimal high-precision paths must not round-trip
     #: through ``float()``.
@@ -251,8 +257,10 @@ class LintConfig:
         "repro.system", "repro.dist", "repro.formats")
     #: Module prefixes allowed to call bare ``print()`` — the CLI owns
     #: stdout; everything else reports through the ``repro.*`` loggers.
+    #: ``repro.sanitize.diff`` is the trace-diff command-line entry
+    #: (``python -m repro.sanitize.diff``), so it owns its stdout too.
     print_allowed_module_prefixes: tuple[str, ...] = (
-        "repro.cli", "repro.devtools")
+        "repro.cli", "repro.devtools", "repro.sanitize.diff")
     #: Module prefixes that must follow the atomic-write protocol
     #: (write temp -> flush -> fsync -> close -> rename): the checkpoint
     #: and spill-file layers, where a torn write corrupts a resumable run.
@@ -272,6 +280,11 @@ class LintConfig:
     worker_submit_calls: frozenset[str] = frozenset(
         {"Process", "apply_async", "submit", "run_tasks",
          "map_async", "starmap_async", "dumps"})
+    #: Module prefixes where the spawn-hygiene project rules (RPL620/621)
+    #: apply: worker callables crossing a spawn boundary must be
+    #: picklable top-level functions, and worker code must take its
+    #: configuration from the task tuple, not the environment.
+    spawn_module_prefixes: tuple[str, ...] = ("repro.dist",)
     #: Violation codes switched off wholesale (per-directory profiles).
     disabled_codes: frozenset[str] = frozenset()
 
@@ -432,6 +445,7 @@ def register_project_checker(cls: Type[ProjectChecker]
 
 def _import_bundled() -> None:
     from . import checkers as _file_rules            # noqa: F401
+    from .engine import concurrency_checkers as _conc_rules  # noqa: F401
     from .engine import flow_checkers as _flow_rules  # noqa: F401
     from .engine import project_checkers as _project_rules  # noqa: F401
 

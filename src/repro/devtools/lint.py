@@ -42,7 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "layering, numerical safety, exception hygiene, API "
                     "completeness, mutable defaults) plus the v2 dataflow "
                     "engine (RNG-stream flow, atomic-write protocol, "
-                    "resource lifecycle, call-graph layering, dead "
+                    "resource lifecycle, thread shared-state and "
+                    "lifecycle, spawn hygiene, call-graph layering, dead "
                     "pragmas).")
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to lint "

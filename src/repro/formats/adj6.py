@@ -100,8 +100,12 @@ class _Adj6Writer(StreamWriter):
         return out
 
     def _finalize(self) -> WriteResult:
-        self._sink.close()
-        self._file.close()
+        # A deferred pipeline I/O error re-raises out of sink.close();
+        # the file handle must be released either way.
+        try:
+            self._sink.close()
+        finally:
+            self._file.close()
         return self._build_result(self.path.stat().st_size)
 
 

@@ -116,21 +116,29 @@ class _Csr6Writer(StreamWriter):
         self.num_edges += block.num_edges
 
     def _finalize(self) -> WriteResult:
-        self._sink.close()
-        # The backpatch happens after the sink has drained, on the main
-        # thread, inside the writer's open-to-close window — timing it
-        # with its own watch (rather than folding it into
-        # encode_seconds) keeps the check_write_result decomposition
-        # exact: encode + write + backpatch are disjoint intervals.
-        backpatch = Stopwatch()
-        with backpatch:
-            self._file.seek(0)
-            self._file.write(_HEADER.pack(_MAGIC, self.num_vertices,
-                                          self.num_edges))
-            indptr = np.zeros(self.num_vertices + 1, dtype="<u8")
-            np.cumsum(self._degrees, out=indptr[1:])
-            self._file.write(indptr.tobytes())
-            self._file.close()
+        # A deferred pipeline I/O error re-raises out of sink.close();
+        # the handle must be released either way, but on the happy path
+        # the close stays inside the backpatch watch (below) so the
+        # timing decomposition is unchanged.
+        try:
+            self._sink.close()
+            # The backpatch happens after the sink has drained, on the
+            # main thread, inside the writer's open-to-close window —
+            # timing it with its own watch (rather than folding it into
+            # encode_seconds) keeps the check_write_result decomposition
+            # exact: encode + write + backpatch are disjoint intervals.
+            backpatch = Stopwatch()
+            with backpatch:
+                self._file.seek(0)
+                self._file.write(_HEADER.pack(_MAGIC, self.num_vertices,
+                                              self.num_edges))
+                indptr = np.zeros(self.num_vertices + 1, dtype="<u8")
+                np.cumsum(self._degrees, out=indptr[1:])
+                self._file.write(indptr.tobytes())
+                self._file.close()
+        finally:
+            if not self._file.closed:
+                self._file.close()
         return self._build_result(self.path.stat().st_size,
                                   extra_write_seconds=backpatch.seconds)
 

@@ -27,6 +27,7 @@ import queue
 import threading
 from typing import IO, Any
 
+from ..sanitize import record_write, sanitize_enabled
 from ..telemetry import Stopwatch, registry
 from ..telemetry.progress import QUEUE_GAUGE
 
@@ -104,12 +105,15 @@ class DirectSink(WriteSink):
     def __init__(self, file: IO[Any]) -> None:
         self._file = file
         self._watch = Stopwatch()
+        self._trace = sanitize_enabled()
 
     @property
     def write_seconds(self) -> float:  # type: ignore[override]
         return self._watch.seconds
 
     def write(self, data: Any) -> None:
+        if self._trace:
+            record_write(self._file, data)
         with self._watch:
             self._file.write(data)
 
@@ -139,10 +143,15 @@ class ThreadedSink(WriteSink):
         self._file = file
         self._queue: queue.Queue = queue.Queue(
             maxsize=depth if depth is not None else pipeline_depth())
+        # _error crosses the writer/producer thread boundary: the writer
+        # sets it, the producer reads-and-clears it.  Both sides hold
+        # _error_lock so neither can observe a torn handoff.
         self._error: BaseException | None = None
+        self._error_lock = threading.Lock()
         self._closed = False
         self._watch = Stopwatch()
         self._queue_gauge = registry().gauge(QUEUE_GAUGE, mode="max")
+        self._trace = sanitize_enabled()
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="trilliong-writer")
         self._thread.start()
@@ -157,24 +166,32 @@ class ThreadedSink(WriteSink):
             if item is self._SENTINEL:
                 self._queue.task_done()
                 return
-            if self._error is None:
+            with self._error_lock:
+                failed = self._error is not None
+            if not failed:
                 self._watch.start()
                 try:
                     self._file.write(item)
                 except (OSError, ValueError) as exc:
-                    self._error = exc
+                    with self._error_lock:
+                        self._error = exc
                 self._watch.stop()
             self._queue.task_done()
 
     def _check(self) -> None:
-        if self._error is not None:
+        with self._error_lock:
             error, self._error = self._error, None
+        if error is not None:
             raise error
 
     def write(self, data: Any) -> None:
         if self._closed:
             raise ValueError("write to a closed sink")
         self._check()
+        if self._trace:
+            # Recorded at submission: the writer thread preserves
+            # submission order, so this *is* the on-disk block order.
+            record_write(self._file, data)
         # High-water mark of in-flight buffers: sampled before the put so
         # a full queue (producer about to block on backpressure) reads as
         # depth, not depth - 1.

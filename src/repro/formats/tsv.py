@@ -47,8 +47,12 @@ class _TsvWriter(StreamWriter):
         self.num_edges += block.num_edges
 
     def _finalize(self) -> WriteResult:
-        self._sink.close()
-        self._file.close()
+        # A deferred pipeline I/O error re-raises out of sink.close();
+        # the file handle must be released either way.
+        try:
+            self._sink.close()
+        finally:
+            self._file.close()
         return self._build_result(self.path.stat().st_size)
 
 

@@ -1,0 +1,131 @@
+"""Trace diffing: root-cause a byte divergence to the first diverging
+draw or write.
+
+``python -m repro.sanitize.diff a.json b.json`` compares two trace
+artifacts written by :func:`repro.sanitize.write_trace`.  Because the
+graph is a pure function of ``(params, seed, format)``, two runs of the
+same configuration must record identical event streams; the first
+event where they disagree *is* the root cause — everything downstream
+(including the final file bytes) diverges from there.
+
+Comparison order mirrors causality: derivations first (a different
+stream key means the seeding scheme itself changed), then draws (same
+streams, different values or draw order), then writes (same draws,
+different encoding or write order).  Events are compared on their
+run-stable projections — thread *names*, stream keys, per-file write
+sequence numbers, CRC fingerprints — never on process-specific state.
+
+Exit codes: 0 traces agree, 1 diverged, 2 unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from .trace import load_trace
+
+__all__ = ["Divergence", "diff_traces", "main", "build_parser"]
+
+#: (category, projection fields) in causal comparison order.  Writes
+#: compare on position and content, *not* the output file name — two
+#: runs of the same configuration writing to differently-named paths
+#: (``run1.adj6`` vs ``run2.adj6``) must still agree.
+_PROJECTIONS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("derivations", ("key",)),
+    ("draws", ("key", "method", "crc")),
+    ("writes", ("file_seq", "nbytes", "crc")),
+)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two traces disagree."""
+
+    category: str            #: ``derivations`` | ``draws`` | ``writes``
+    index: int               #: position in the category's event list
+    left: dict | None        #: event from trace A (None: A ran out)
+    right: dict | None       #: event from trace B (None: B ran out)
+
+    def render(self) -> str:
+        noun = self.category.rstrip("s")
+        if self.left is None:
+            return (f"trace A ends at {noun} #{self.index}; trace B "
+                    f"continues with {_describe(self.right)}")
+        if self.right is None:
+            return (f"trace B ends at {noun} #{self.index}; trace A "
+                    f"continues with {_describe(self.left)}")
+        return (f"first diverging {noun} at #{self.index}:\n"
+                f"  A: {_describe(self.left)}\n"
+                f"  B: {_describe(self.right)}")
+
+
+def _describe(event: dict | None) -> str:
+    if event is None:
+        return "<none>"
+    if "method" in event:
+        return (f"{event.get('key')}.{event.get('method')}() "
+                f"crc={event.get('crc')} [thread {event.get('thread')}]")
+    if "file" in event:
+        return (f"{event.get('file')}[{event.get('file_seq')}] "
+                f"{event.get('nbytes')} bytes crc={event.get('crc')}")
+    return (f"{event.get('key')} at {event.get('site')} "
+            f"[thread {event.get('thread')}]")
+
+
+def diff_traces(a: dict, b: dict) -> Divergence | None:
+    """The first diverging event between two loaded traces, or ``None``
+    when they agree on every derivation, draw, and write."""
+    for category, fields in _PROJECTIONS:
+        left_events = a.get(category, [])
+        right_events = b.get(category, [])
+        for i in range(max(len(left_events), len(right_events))):
+            left = left_events[i] if i < len(left_events) else None
+            right = right_events[i] if i < len(right_events) else None
+            if left is None or right is None:
+                return Divergence(category, i, left, right)
+            if any(left.get(f) != right.get(f) for f in fields):
+                return Divergence(category, i, left, right)
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize.diff",
+        description="Compare two determinism-sanitizer traces and "
+                    "pinpoint the first diverging derivation, draw, or "
+                    "write.")
+    parser.add_argument("trace_a", type=Path, help="baseline trace JSON")
+    parser.add_argument("trace_b", type=Path, help="candidate trace JSON")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        a = load_trace(args.trace_a)
+        b = load_trace(args.trace_b)
+    except (OSError, ValueError) as exc:
+        print(f"sanitize.diff: error: {exc}", file=sys.stderr)
+        return 2
+
+    for label, doc in (("A", a), ("B", b)):
+        for violation in doc.get("violations", []):
+            print(f"trace {label} violation: "
+                  f"[{violation.get('code')}] {violation.get('message')}")
+
+    divergence = diff_traces(a, b)
+    if divergence is None:
+        counts = ", ".join(
+            f"{len(a.get(c, []))} {c}" for c, _ in _PROJECTIONS)
+        print(f"traces agree ({counts})")
+        return 0
+    print(divergence.render())
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

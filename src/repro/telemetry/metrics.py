@@ -2,7 +2,10 @@
 
 The registry is the cheap always-on half of the telemetry layer: an
 instrument is one dict lookup to obtain (callers cache the handle on hot
-paths) and one float add to update.  When telemetry is disabled
+paths) and one lock-protected float add to update — instruments are
+shared between the producer and the pipeline's background writer
+thread, so updates must not be lost to thread switches.  When telemetry
+is disabled
 (``TRILLIONG_TELEMETRY=0``) :func:`registry` returns a no-op registry
 whose instruments discard every update, so instrumented code pays a
 single attribute call and nothing else.
@@ -73,18 +76,27 @@ def enable_telemetry(on: bool | None) -> None:
 
 
 class Counter:
-    """A monotonically increasing float; merge adds."""
+    """A monotonically increasing float; merge adds.
 
-    __slots__ = ("value",)
+    Updates are lock-protected: the pipeline's background writer thread
+    and the producer share instruments (e.g. ``format.bytes_written``),
+    and an unguarded ``+=`` is a read-modify-write that loses updates
+    under thread switches.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
-        return {"type": "counter", "value": self.value}
+        with self._lock:
+            return {"type": "counter", "value": self.value}
 
 
 class Gauge:
@@ -97,7 +109,7 @@ class Gauge:
     process's reading is as good as another's).
     """
 
-    __slots__ = ("value", "mode")
+    __slots__ = ("value", "mode", "_lock")
 
     _MODES = ("last", "max", "min")
 
@@ -106,19 +118,23 @@ class Gauge:
             raise ValueError(f"unknown gauge mode {mode!r}")
         self.value = 0.0
         self.mode = mode
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        if self.mode == "max":
-            if value > self.value:
+        with self._lock:
+            if self.mode == "max":
+                if value > self.value:
+                    self.value = value
+            elif self.mode == "min":
+                if value < self.value:
+                    self.value = value
+            else:
                 self.value = value
-        elif self.mode == "min":
-            if value < self.value:
-                self.value = value
-        else:
-            self.value = value
 
     def snapshot(self) -> dict:
-        return {"type": "gauge", "value": self.value, "mode": self.mode}
+        with self._lock:
+            return {"type": "gauge", "value": self.value,
+                    "mode": self.mode}
 
 
 class Histogram:
@@ -129,7 +145,7 @@ class Histogram:
     lands in the first bucket whose bound is ``>= value``.
     """
 
-    __slots__ = ("bounds", "counts", "sum", "count")
+    __slots__ = ("bounds", "counts", "sum", "count", "_lock")
 
     def __init__(self, bounds: Sequence[float]) -> None:
         bounds = tuple(float(b) for b in bounds)
@@ -139,12 +155,14 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float, count: int = 1) -> None:
         """Record ``count`` observations of ``value``."""
-        self.counts[bisect.bisect_left(self.bounds, value)] += count
-        self.sum += value * count
-        self.count += count
+        with self._lock:
+            self.counts[bisect.bisect_left(self.bounds, value)] += count
+            self.sum += value * count
+            self.count += count
 
     def observe_bulk(self, values: Iterable[float],
                      counts: Iterable[int]) -> None:
@@ -160,9 +178,10 @@ class Histogram:
                 self.observe(float(value), int(count))
 
     def snapshot(self) -> dict:
-        return {"type": "histogram", "bounds": list(self.bounds),
-                "counts": list(self.counts), "sum": self.sum,
-                "count": self.count}
+        with self._lock:
+            return {"type": "histogram", "bounds": list(self.bounds),
+                    "counts": list(self.counts), "sum": self.sum,
+                    "count": self.count}
 
 
 class MetricsRegistry:
@@ -240,10 +259,11 @@ class MetricsRegistry:
 def _merge_histogram_into(hist: Histogram, data: Mapping) -> None:
     if list(hist.bounds) != [float(b) for b in data["bounds"]]:
         raise ValueError("cannot merge histograms with different bounds")
-    for i, c in enumerate(data["counts"]):
-        hist.counts[i] += c
-    hist.sum += data["sum"]
-    hist.count += data["count"]
+    with hist._lock:
+        for i, c in enumerate(data["counts"]):
+            hist.counts[i] += c
+        hist.sum += data["sum"]
+        hist.count += data["count"]
 
 
 class _NullCounter(Counter):

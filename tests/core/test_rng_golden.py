@@ -1,0 +1,169 @@
+"""Golden known-seed digests: freeze the RNG key shapes and the output
+bytes so any change to the derivation scheme, the sampling order, or an
+encoder is caught as an explicit golden-value break, not a silent
+different-graph.
+
+Referenced by the ``repro.core.rng`` module docstring: the two
+derivation families (``stream`` label paths vs ``spawn_streams`` spawn
+keys) are disjoint by construction, and these digests pin both schemes.
+
+If a test here fails, the generator output changed for every user.
+Only update the constants for an *intentional*, release-noted break of
+seed stability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro import RecursiveVectorGenerator
+from repro.core.rng import derive_seed, spawn_streams, stream
+from repro.formats import get_format
+from repro.models import ALL_MODELS
+
+
+def draw_digest(gen, n=8):
+    """Digest of the first ``n`` uint64 draws — fingerprints the stream."""
+    values = gen.integers(0, 1 << 63, size=n)
+    return hashlib.sha256(np.ascontiguousarray(values).tobytes()) \
+        .hexdigest()[:16]
+
+
+# -- key-shape freeze --------------------------------------------------
+
+STREAM_DIGESTS = {
+    (7,): "f2aa239e8ccb3760",
+    (7, 0): "f2aa239e8ccb3760",   # see test_root_equals_label_zero
+    (7, 0, 3): "2ba02186d1363e18",
+}
+
+SPAWN_DIGESTS = ["0538c293b4a73484", "a241f641f4331ca8",
+                 "6a4263f07e4bdd8e"]
+
+DERIVED_SEEDS = {(7, 1): 3317731564112288844,
+                 (7, 2): 9139555415570476218}
+
+
+def test_stream_digests_frozen():
+    for (seed, *labels), expected in STREAM_DIGESTS.items():
+        assert draw_digest(stream(seed, *labels)) == expected, \
+            f"stream({seed}, {labels}) drifted"
+
+
+def test_spawn_digests_frozen():
+    assert [draw_digest(g) for g in spawn_streams(7, 3)] == SPAWN_DIGESTS
+
+
+def test_derive_seed_frozen():
+    for (seed, label), expected in DERIVED_SEEDS.items():
+        assert derive_seed(seed, label) == expected
+
+
+def test_spawn_and_stream_families_are_disjoint():
+    # spawn_streams(seed, n)[i] must never equal stream(seed, i): the
+    # spawn_key shape differs from the entropy-list shape.  Pinned here
+    # because silently unifying them would collide worker streams with
+    # scope streams.
+    spawned = [draw_digest(g) for g in spawn_streams(7, 3)]
+    labelled = [draw_digest(stream(7, i)) for i in range(3)]
+    assert not set(spawned) & set(labelled)
+
+
+def test_root_equals_label_zero():
+    # Known numpy SeedSequence property: trailing zero entropy words
+    # are absorbed, so ``stream(seed)`` IS ``stream(seed, 0)``.  The
+    # library's own label tags therefore all start at 1 (models) or
+    # 101+ (core generator).  Frozen so a numpy behaviour change — or a
+    # new tag 0 — is noticed.
+    assert draw_digest(stream(7)) == draw_digest(stream(7, 0))
+
+
+# -- output-byte freeze ------------------------------------------------
+
+# scale 8, edge factor 4, seed 42, defaults otherwise.
+OUTPUT_DIGESTS = {
+    "adj6": "94edec94a19eb79196b23943d46d4ddf9130f16e109b6e253f230e7f974574bc",
+    "tsv": "8376072faa2479a9363ad2bb54ed2639694966b4070ad931a39c6db6ac12faff",
+    "csr6": "14de09fd87a7e50e2e960fa1c3667ff31b2e45d7698ae5680e840d6236b5e2b4",
+}
+
+NOISE_ADJ6_DIGEST = \
+    "ee58f18fb6bd9bfabc1a0660050fe43a1fb549d452d2bc990afd5748db741518"
+
+
+def write_digest(tmp_path, fmt_name, **kwargs):
+    kwargs.setdefault("seed", 42)
+    gen = RecursiveVectorGenerator(8, 4, **kwargs)
+    path = tmp_path / f"golden.{fmt_name}"
+    get_format(fmt_name).write_blocks(path, gen.iter_blocks(),
+                                      gen.num_vertices)
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def test_output_digests_frozen(tmp_path):
+    for fmt_name, expected in OUTPUT_DIGESTS.items():
+        assert write_digest(tmp_path, fmt_name) == expected, \
+            f"{fmt_name} output drifted for (scale=8, ef=4, seed=42)"
+
+
+def test_noise_output_digest_frozen(tmp_path):
+    assert write_digest(tmp_path, "adj6", noise=0.1) == NOISE_ADJ6_DIGEST
+
+
+def test_avs_in_matches_avs_out_for_symmetric_matrix(tmp_path):
+    # The Graph500 matrix has b == c, so its transpose is itself and
+    # AVS-I must reproduce AVS-O byte for byte.  An asymmetry sneaking
+    # into the direction flip would break this first.
+    assert write_digest(tmp_path, "adj6", direction="in") == \
+        OUTPUT_DIGESTS["adj6"]
+
+
+def test_block_size_is_part_of_the_determinism_key(tmp_path):
+    # Randomness is keyed per block *index*, so the block partitioning
+    # is part of the configuration: a different block_size is a
+    # different (equally valid) graph.  The explicit default must match
+    # the frozen digest; a non-default must not.
+    assert write_digest(tmp_path, "adj6", block_size=4096) == \
+        OUTPUT_DIGESTS["adj6"]
+    assert write_digest(tmp_path, "adj6", block_size=64) == \
+        "e005f1dfdfbc642db2ede37269e4df08c292f2e1a082de1985eaae7bb2ad3448"
+
+
+# -- every registered model --------------------------------------------
+
+# Edge-array digests at (scale=8, edge_factor=4, seed=42).  One entry
+# per registry key: adding a model without freezing its digest fails
+# loudly, and any sampling-order change in an existing model is an
+# explicit golden break.
+MODEL_DIGESTS = {
+    "Barabasi-Albert": "9dbab01cb3300beb",
+    "Erdos-Renyi": "ffa44e2b5f4c5dd9",
+    "FastKronecker": "78c5190576b20cbc",
+    "Graph500": "b6d225bd88ea14e7",
+    "Kronecker-AES": "90a34ae71520d955",
+    "RMAT-disk": "8ffa33b8738c239c",
+    "RMAT-mem": "78c5190576b20cbc",
+    "RMAT/p-disk": "53d53bf920806f18",
+    "RMAT/p-mem": "53d53bf920806f18",
+    "TeG": "9297d15dfcf8cab9",
+    "TrillionG/seq": "b232008130f9d986",
+}
+
+
+def edge_digest(edges):
+    arr = np.ascontiguousarray(np.asarray(edges, dtype=np.int64))
+    return hashlib.sha256(arr.tobytes()).hexdigest()[:16]
+
+
+def test_every_registered_model_has_a_frozen_digest():
+    assert set(MODEL_DIGESTS) == set(ALL_MODELS), \
+        "new model registered: freeze its golden digest here"
+
+
+def test_model_edge_digests_frozen():
+    for key, expected in sorted(MODEL_DIGESTS.items()):
+        gen = ALL_MODELS[key](scale=8, edge_factor=4, seed=42)
+        assert edge_digest(gen.generate()) == expected, \
+            f"model {key!r} output drifted for (scale=8, ef=4, seed=42)"

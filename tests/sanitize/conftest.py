@@ -1,0 +1,18 @@
+"""Shared fixture: every test in this package runs against a clean
+global ledger, and the programmatic sanitizer override is always
+restored so the suite's ``TRILLIONG_SANITIZE`` environment (CI runs the
+whole suite both ways) is back in charge afterwards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sanitize import enable_sanitize, reset_sanitizer
+
+
+@pytest.fixture(autouse=True)
+def clean_sanitizer():
+    reset_sanitizer()
+    yield
+    enable_sanitize(None)
+    reset_sanitizer()
