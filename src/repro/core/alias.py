@@ -1,0 +1,111 @@
+"""Alias tables over bundles of recursion-path prefixes.
+
+"Linear Work Generation of R-MAT Graphs" (Hübschle-Schneider & Sanders)
+observes that the per-edge cost of recursive Kronecker samplers —
+O(log|V|) recursion steps in Algorithm 5 / the bit-peel loop — can be
+collapsed by precomputing the joint distribution of whole *bundles* of
+recursion decisions.  For a bundle depth ``b``, the top ``b`` destination
+bits form a prefix ``w`` in ``{0,1}^b`` whose conditional probability
+given the source factorizes over levels (see
+:mod:`repro.core.probability`)::
+
+    P(w | u) = prod_{j<b}  p_j        if w[j] = 1
+                           (1 - p_j)  if w[j] = 0
+
+where ``p_j`` is the per-level Bernoulli parameter of destination bit
+``levels - b + j``.  That PMF has only ``2**b`` outcomes, so a Vose
+alias table draws a whole prefix in O(1): one uniform picks a slot, one
+uniform flips the slot's biased coin.  The remaining ``levels - b`` low
+bits are filled by the ordinary vectorized bit-peel.
+
+Because ``p_j`` depends on the source only through the source's bit at
+the same level, a table is keyed by the source's top-``b`` bit pattern:
+at most ``2**b`` tables of ``2**b`` entries each, and in practice one or
+a handful per generation block (consecutive sources share their high
+bits).  :class:`repro.core.generator.RecursiveVectorGenerator` caches
+tables per pattern across blocks, so construction cost is amortized to
+nothing over a run.
+
+Everything here is plain float64 numpy; determinism is inherited from
+the caller's seeded streams (the alias structure itself is a pure
+function of the seed matrix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["build_alias_table", "bundle_pmf", "sample_alias"]
+
+
+def bundle_pmf(level_probs: np.ndarray) -> np.ndarray:
+    """PMF over all ``2**b`` prefixes for per-level one-bit probabilities.
+
+    ``level_probs[j]`` is the probability that prefix bit ``j`` is 1
+    (bit ``j`` of the returned index corresponds to destination bit
+    ``levels - b + j``).  Built by the same doubling recurrence as the
+    exact scope sampler: each level splits every prefix into its 0- and
+    1-extension.
+    """
+    probs = np.asarray(level_probs, dtype=np.float64)
+    if probs.ndim != 1 or probs.size == 0:
+        raise ValueError("level_probs must be a non-empty 1-D array")
+    if probs.size > 24:
+        raise ValueError(
+            f"bundle depth {probs.size} would materialize a "
+            f"{1 << probs.size}-entry table; cap the depth at 24")
+    pmf = np.array([1.0])
+    for p in probs:
+        pmf = np.concatenate([pmf * (1.0 - p), pmf * p])
+    return pmf
+
+
+def build_alias_table(weights: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Vose's O(n) alias construction for a discrete distribution.
+
+    Returns ``(prob, alias)``: to sample, draw slot ``i`` uniformly and
+    keep it with probability ``prob[i]``, otherwise take ``alias[i]``.
+    Zero-weight outcomes are handled (they end up with ``prob == 0`` and
+    a live alias); weights need not be normalized.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if not np.isfinite(w).all() or (w < 0).any():
+        raise ValueError("weights must be finite and non-negative")
+    total = float(w.sum())
+    if total <= 0.0:
+        raise ValueError("weights must not sum to zero")
+    n = w.size
+    scaled = w * (n / total)
+    prob = np.ones(n, dtype=np.float64)
+    alias = np.arange(n, dtype=np.int64)
+    small = [int(i) for i in np.nonzero(scaled < 1.0)[0]]
+    large = [int(i) for i in np.nonzero(scaled >= 1.0)[0]]
+    while small and large:
+        s = small.pop()
+        g = large.pop()
+        prob[s] = scaled[s]
+        alias[s] = g
+        scaled[g] = (scaled[g] + scaled[s]) - 1.0
+        (small if scaled[g] < 1.0 else large).append(g)
+    # Float residue: any leftover slot keeps probability 1 of itself.
+    for i in small + large:
+        prob[i] = 1.0
+        alias[i] = i
+    return prob, alias
+
+
+def sample_alias(prob: np.ndarray, alias: np.ndarray,
+                 slot_u: np.ndarray, coin_u: np.ndarray) -> np.ndarray:
+    """Vectorized alias draw from pre-drawn uniforms (single table).
+
+    ``slot_u`` picks the slot, ``coin_u`` flips the slot's coin; both in
+    ``[0, 1)``.  Kept separate from the table gather in the generator so
+    the draw order (slot batch, then coin batch) is an explicit, frozen
+    part of the determinism contract.
+    """
+    n = prob.size
+    slots = np.minimum((slot_u * n).astype(np.int64), n - 1)
+    return np.where(coin_u < prob[slots], slots, alias[slots])

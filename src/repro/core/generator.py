@@ -17,7 +17,19 @@ Engines
 ``bitwise``
     Exploits the bit-factorization of ``P(v|u)`` (see
     :mod:`repro.core.probability`): destination bits are independent
-    Bernoulli draws.  Distributionally identical and fastest in numpy.
+    Bernoulli draws.  Distributionally identical and fast in numpy.
+``alias``
+    The linear-work kernel (Hübschle-Schneider & Sanders): Vose alias
+    tables over *bundles* of recursion-path prefixes draw the top
+    ``bundle_depth`` destination bits in O(1), and the remaining low
+    bits are filled by the vectorized bit-peel — O(1 + (log|V|)/b) per
+    edge instead of O(log|V|).  See :mod:`repro.core.alias` and
+    ``docs/kernel.md``.
+
+Each engine is deterministic per ``(params, seed)`` but the engines are
+**not** byte-identical to one another — they consume their streams in
+different shapes.  Golden digests per backend are frozen in
+``tests/core/test_rng_golden.py``.
 
 Determinism
 -----------
@@ -36,7 +48,8 @@ from typing import Iterator
 import numpy as np
 
 from ..errors import ConfigurationError, GenerationError
-from ..telemetry import RECURSION_BUCKETS, registry
+from ..telemetry import RECURSION_BUCKETS, Stopwatch, registry
+from .alias import build_alias_table, bundle_pmf
 from .process import EdgeProcess, make_process
 from .rng import stream
 from .scope import sample_scope_sizes
@@ -54,8 +67,12 @@ _TAG_NOISE = 101
 _TAG_DEGREE = 102
 _TAG_EDGE = 103
 
-_ENGINES = ("vectorized", "bitwise", "reference")
+_ENGINES = ("vectorized", "bitwise", "alias", "reference")
+#: User-facing destination-sampler names -> internal engine names.
+_SAMPLER_ENGINES = {"recvec": "vectorized", "bitwise": "bitwise",
+                    "alias": "alias"}
 _MAX_TOPUP_ROUNDS = 200
+_MAX_BUNDLE_DEPTH = 24
 
 
 @dataclass(frozen=True)
@@ -152,7 +169,13 @@ class RecursiveVectorGenerator:
         ``"out"`` for AVS-O (scopes are rows; yields out-adjacency) or
         ``"in"`` for AVS-I (scopes are columns; yields in-adjacency).
     engine:
-        ``"vectorized"`` (default), ``"bitwise"``, or ``"reference"``.
+        ``"vectorized"`` (default), ``"bitwise"``, ``"alias"``, or
+        ``"reference"``.
+    sampler:
+        Destination-sampler name — the user-facing spelling of the
+        batched backends: ``"recvec"`` (-> ``vectorized``),
+        ``"bitwise"``, or ``"alias"``.  Takes precedence over
+        ``engine`` when given.
     ideas:
         Idea toggles (reference engine only; the batched engines embody all
         three ideas by construction).
@@ -167,6 +190,13 @@ class RecursiveVectorGenerator:
     block_size:
         Number of consecutive sources generated per batch; randomness is
         keyed per block, so this also fixes the determinism granularity.
+    bundle_depth:
+        Alias backend only: number of top destination bits drawn per
+        alias-table gather (table size ``2**bundle_depth``; effective
+        depth is capped at ``scale``).  Larger bundles mean fewer fill
+        draws but exponentially bigger tables — see ``docs/kernel.md``
+        for the tradeoff.  Like ``block_size``, it is part of the
+        determinism key for the alias backend.
     """
 
     def __init__(self, scale: int, edge_factor: int = 16,
@@ -175,11 +205,13 @@ class RecursiveVectorGenerator:
                  noise: float = 0.0,
                  direction: str = "out",
                  engine: str = "vectorized",
+                 sampler: str | None = None,
                  ideas: IdeaToggles | None = None,
                  dedup: bool = True,
                  degree_method: str = "normal",
                  seed: int = 0,
-                 block_size: int = 4096) -> None:
+                 block_size: int = 4096,
+                 bundle_depth: int = 8) -> None:
         if scale < 1:
             raise ConfigurationError("scale must be >= 1")
         if scale > 56:
@@ -187,9 +219,19 @@ class RecursiveVectorGenerator:
                 "scale > 56 would overflow int64 destination packing")
         if direction not in ("out", "in"):
             raise ConfigurationError("direction must be 'out' or 'in'")
+        if sampler is not None:
+            if sampler not in _SAMPLER_ENGINES:
+                raise ConfigurationError(
+                    f"unknown sampler {sampler!r}; expected one of "
+                    f"{tuple(_SAMPLER_ENGINES)}")
+            engine = _SAMPLER_ENGINES[sampler]
         if engine not in _ENGINES:
             raise ConfigurationError(
                 f"unknown engine {engine!r}; expected one of {_ENGINES}")
+        if not 1 <= bundle_depth <= _MAX_BUNDLE_DEPTH:
+            raise ConfigurationError(
+                f"bundle_depth must be in [1, {_MAX_BUNDLE_DEPTH}], "
+                f"got {bundle_depth}")
         if block_size < 1:
             raise ConfigurationError("block_size must be positive")
         self.scale = scale
@@ -209,6 +251,13 @@ class RecursiveVectorGenerator:
         self.seed = seed
         self.noise = noise
         self.block_size = block_size
+        self.bundle_depth = bundle_depth
+        # Effective bundle depth: a bundle cannot cover more levels than
+        # the address has bits.
+        self._bundle_levels = min(bundle_depth, scale)
+        # Alias tables keyed by the source's top-bundle_levels bit
+        # pattern, cached across blocks (pure function of the process).
+        self._alias_tables: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self.process: EdgeProcess = make_process(
             matrix, scale, noise, stream(seed, _TAG_NOISE))
         self.stats = GenerationStats()
@@ -233,6 +282,8 @@ class RecursiveVectorGenerator:
         """Scope sizes for sources in ``[start, stop)`` (out-degrees for
         AVS-O, in-degrees for AVS-I)."""
         start, stop = self._check_range(start, stop)
+        if start == stop:
+            return np.empty(0, np.int64)
         chunks = []
         for block in range(start // self.block_size,
                            (stop - 1) // self.block_size + 1):
@@ -288,7 +339,7 @@ class RecursiveVectorGenerator:
             stats.duplicates_discarded - dups0)
         reg.counter("generator.random_draws").inc(draws)
         reg.counter("generator.recvec_builds").inc(builds)
-        if self.engine != "bitwise":
+        if self.engine in ("vectorized", "reference"):
             # Idea #1 effectiveness: every draw beyond the first per scope
             # reuses an already-built RecVec.  Builds that served no draw
             # (zero-degree scopes) appear only in recvec_builds, keeping
@@ -297,9 +348,19 @@ class RecursiveVectorGenerator:
             reg.counter("generator.recvec_reuse_hits").inc(hits)
             reg.counter("generator.recvec_reuse_misses").inc(draws - hits)
         if block.destinations.size:
-            # Theorem 2: Algorithm 5 recurses once per 1-bit of the
-            # destination, so the per-edge recursion count is popcount(v).
-            pops = _popcount64(block.destinations)
+            if self.engine == "alias":
+                # The bundle gather resolves the top bundle_levels bits
+                # in one step; only fill-region 1-bits still cost a
+                # translation each, so the per-edge count collapses to
+                # 1 + popcount of the low bits.
+                fill = self.scale - self._bundle_levels
+                low = block.destinations & np.int64((1 << fill) - 1)
+                pops = _popcount64(low) + 1
+            else:
+                # Theorem 2: Algorithm 5 recurses once per 1-bit of the
+                # destination, so the per-edge recursion count is
+                # popcount(v).
+                pops = _popcount64(block.destinations)
             counts = np.bincount(pops)
             values = np.nonzero(counts)[0]
             reg.histogram("generator.recursions_per_edge",
@@ -318,6 +379,8 @@ class RecursiveVectorGenerator:
         block) and then sliced to the requested range.
         """
         start, stop = self._check_range(start, stop)
+        if start == stop:
+            return
         for block_index in range(start // self.block_size,
                                  (stop - 1) // self.block_size + 1):
             block = self.generate_block(block_index)
@@ -369,16 +432,18 @@ class RecursiveVectorGenerator:
                                                        saturated, rng)
         total = int(degrees.sum())
         rows = np.repeat(np.arange(sources.size, dtype=np.int64), degrees)
+        sampler: _DestinationSampler
         if self.engine == "vectorized":
             recvecs = self.process.build_recvecs(sources)
             self.stats.recvec_builds += sources.size
             sampler = _RecVecSampler(recvecs)
+        elif self.engine == "alias":
+            sampler = self._build_alias_sampler(sources)
         else:
             bit_probs = self.process.bit_probabilities(sources)
             sampler = _BitwiseSampler(bit_probs, self.scale)
         dests = sampler.sample(rows, rng)
-        self.stats.random_draws += total if self.engine == "vectorized" \
-            else total * self.scale
+        self.stats.random_draws += total * sampler.draws_per_edge
         if not self.dedup:
             order = np.argsort(rows * np.int64(self.num_vertices) + dests,
                                kind="stable")
@@ -447,6 +512,44 @@ class RecursiveVectorGenerator:
             keep = keys[keys // span != row]
             keys = np.sort(np.concatenate([keep, row * span + exact]))
         return keys, duplicates
+
+    def _build_alias_sampler(self, sources: np.ndarray) -> "_AliasSampler":
+        """Gather (building and caching as needed) the per-pattern alias
+        tables covering ``sources`` — see :mod:`repro.core.alias`.
+
+        The table for a source depends only on its top ``bundle_levels``
+        bits, so consecutive sources share tables: a 4096-source block
+        touches at most two patterns once ``scale - bundle_depth >= 12``.
+        Tables are cached on the generator for the lifetime of the run.
+        """
+        b = self._bundle_levels
+        fill = self.scale - b
+        codes = (sources.astype(np.uint64)
+                 >> np.uint64(fill)).astype(np.int64)
+        patterns, pattern_rows = np.unique(codes, return_inverse=True)
+        prob = np.empty((patterns.size, 1 << b), dtype=np.float64)
+        alias = np.empty((patterns.size, 1 << b), dtype=np.int64)
+        built = 0
+        watch = Stopwatch()
+        with watch:
+            for j, code in enumerate(patterns):
+                cached = self._alias_tables.get(int(code))
+                if cached is None:
+                    representative = np.array([int(code) << fill],
+                                              dtype=np.uint64)
+                    level_probs = self.process.bit_probabilities(
+                        representative)[0][fill:]
+                    cached = build_alias_table(bundle_pmf(level_probs))
+                    self._alias_tables[int(code)] = cached
+                    built += 1
+                prob[j], alias[j] = cached
+        reg = registry()
+        if reg.enabled and built:
+            reg.counter("gen.alias.tables_built").inc(built)
+            reg.counter("gen.alias.build_seconds").inc(watch.seconds)
+        bit_probs = self.process.bit_probabilities(sources)
+        return _AliasSampler(bit_probs, fill, pattern_rows.astype(np.int64),
+                             prob, alias)
 
     # ------------------------------------------------------------------
     # Saturated scopes (small-scale hubs whose size approaches |V|)
@@ -589,7 +692,7 @@ class RecursiveVectorGenerator:
     def _check_range(self, start: int, stop: int | None) -> tuple[int, int]:
         if stop is None:
             stop = self.num_vertices
-        if not (0 <= start < stop <= self.num_vertices):
+        if not (0 <= start <= stop <= self.num_vertices):
             raise ValueError(
                 f"invalid scope range [{start}, {stop}) for "
                 f"|V| = {self.num_vertices}")
@@ -628,6 +731,9 @@ def _sorted_unique(sorted_keys: np.ndarray) -> np.ndarray:
 class _DestinationSampler:
     """Batched destination sampler over per-source state rows."""
 
+    #: Uniform draws consumed per requested destination (stats bookkeeping).
+    draws_per_edge: int = 1
+
     def sample(self, rows: np.ndarray,
                rng: np.random.Generator) -> np.ndarray:
         raise NotImplementedError
@@ -654,13 +760,74 @@ class _BitwiseSampler(_DestinationSampler):
     def __init__(self, bit_probs: np.ndarray, levels: int) -> None:
         self.bit_probs = bit_probs
         self.levels = levels
+        self.draws_per_edge = levels
 
     def sample(self, rows: np.ndarray,
                rng: np.random.Generator) -> np.ndarray:
         out = np.zeros(rows.size, dtype=np.int64)
         for x in range(self.levels):
+            col = self.bit_probs[:, x]
+            # Degenerate levels (seed entries of exactly 0 or 1) force
+            # the bit for every source: decide without drawing, so no
+            # randomness is consumed and the single-uniform rescale in
+            # the reference path can never divide by zero.
+            if np.all(col >= 1.0):
+                out |= np.int64(1) << x
+                continue
+            if np.all(col <= 0.0):
+                continue
             hits = rng.random(rows.size) < self.bit_probs[rows, x]
             out |= hits.astype(np.int64) << x
+        return out
+
+
+class _AliasSampler(_DestinationSampler):
+    """Linear-work bundle sampler (Hübschle-Schneider & Sanders).
+
+    The top ``levels - fill_levels`` destination bits are drawn as one
+    prefix bundle from a per-source-pattern Vose alias table (two
+    uniforms: slot pick + biased coin); the remaining ``fill_levels``
+    low bits are filled by the vectorized bit-peel (one ``(n,
+    fill_levels)`` uniform matrix).  Per-edge cost is O(1 +
+    fill_levels) regardless of scale.
+
+    The draw order — slot batch, coin batch, then the fill matrix — is
+    a frozen part of the determinism contract
+    (``tests/core/test_rng_golden.py``); reordering it is a golden
+    break for every alias-backend user.
+    """
+
+    def __init__(self, bit_probs: np.ndarray, fill_levels: int,
+                 pattern_rows: np.ndarray, prob: np.ndarray,
+                 alias: np.ndarray) -> None:
+        self.bit_probs = bit_probs        # (n_sources, levels)
+        self.fill_levels = fill_levels
+        self.pattern_rows = pattern_rows  # (n_sources,) -> table row
+        self.prob = prob                  # (n_patterns, 2**b)
+        self.alias = alias                # (n_patterns, 2**b)
+        self.draws_per_edge = 2 + fill_levels
+
+    def sample(self, rows: np.ndarray,
+               rng: np.random.Generator) -> np.ndarray:
+        n = rows.size
+        size = self.prob.shape[1]
+        pat = self.pattern_rows[rows]
+        slot_u = rng.random(n)
+        coin_u = rng.random(n)
+        slots = np.minimum((slot_u * size).astype(np.int64), size - 1)
+        keep = coin_u < self.prob[pat, slots]
+        prefix = np.where(keep, slots, self.alias[pat, slots])
+        out = prefix << np.int64(self.fill_levels)
+        if self.fill_levels:
+            fill_u = rng.random((n, self.fill_levels))
+            hits = fill_u < self.bit_probs[rows, :self.fill_levels]
+            weights = np.int64(1) << np.arange(self.fill_levels,
+                                               dtype=np.int64)
+            out |= hits.astype(np.int64) @ weights
+        reg = registry()
+        if reg.enabled:
+            reg.counter("gen.alias.bundle_draws").inc(n)
+            reg.counter("gen.alias.fill_bits").inc(n * self.fill_levels)
         return out
 
 
@@ -704,6 +871,17 @@ def _sample_destination_bitpeel(bit_probs: np.ndarray,
     v = 0
     for level in range(levels - 1, -1, -1):
         p = bit_probs[level]
+        # Degenerate level (seed entry of exactly 0 or 1): the bit is
+        # forced, so consume no randomness and leave x untouched.
+        # Without the short-circuit, the single-uniform rescale divides
+        # by zero once float rounding pushes x to exactly 1.0 at a
+        # p == 0 level ((x - 1.0) / 0.0), and the fresh-uniform path
+        # burns a draw deciding a certain event.
+        if p >= 1.0:
+            v |= 1 << level
+            continue
+        if p <= 0.0:
+            continue
         stats.recursion_steps += 1
         if single_random:
             if x < 1.0 - p:

@@ -1,4 +1,4 @@
-"""The eight project-specific ``reprolint`` checkers.
+"""The nine project-specific ``reprolint`` checkers.
 
 Each checker guards one invariant the paper's correctness argument relies
 on; ``docs/static_analysis.md`` documents the catalogue in prose.
@@ -14,6 +14,9 @@ exception-hygiene   RPL401+  no bare/broad ``except`` outside the allowlist
 api-completeness    RPL501+  every module declares a consistent ``__all__``
 block-streaming     RPL505+  producers feed writers whole blocks, never
                              per-vertex ``writer.add`` loops
+kernel-vectorization RPL510  sampling kernels stay whole-batch numpy:
+                             no per-edge Python loops outside the
+                             reference engine
 telemetry           RPL507+  pipeline timing goes through
                              ``repro.telemetry``; only the CLI prints
 mutable-defaults    RPL601   no mutable default arguments
@@ -33,6 +36,7 @@ __all__ = [
     "ExceptionHygieneChecker",
     "ApiCompletenessChecker",
     "BlockStreamingChecker",
+    "KernelVectorizationChecker",
     "TelemetryChecker",
     "MutableDefaultsChecker",
 ]
@@ -562,6 +566,80 @@ class BlockStreamingChecker(Checker):
                 if chain and chain[-1] == "iter_adjacency":
                     return True
         return False
+
+
+@register_checker
+class KernelVectorizationChecker(Checker):
+    """The batched sampling kernel stays vectorized.
+
+    RPL510 — a Python ``for`` loop iterating a per-edge array (directly
+    or via ``enumerate``/``zip``) inside a kernel module
+    (``kernel_module_prefixes``).  The destination samplers owe their
+    throughput to whole-batch numpy work — one gather/compare per batch,
+    never one interpreter iteration per edge; a loop over ``rows`` /
+    ``dests`` / friends reinserts the O(|E|) Python loop the alias and
+    bitwise backends exist to remove.  Functions whose name mentions
+    ``reference`` are exempt: the paper-faithful engine is a per-edge
+    loop by design (that is the ablation baseline).  Loops over
+    per-block or per-table structures (``sources``, ``patterns``,
+    ``range(levels)``) are fine — they are O(block) or O(2^b), not
+    O(|E|).
+    """
+
+    name = "kernel-vectorization"
+    codes = {
+        "RPL510": "per-edge Python loop in a sampling-kernel module",
+    }
+
+    def __init__(self, source, config) -> None:
+        super().__init__(source, config)
+        self._function_stack: list[str] = []
+
+    def _in_kernel_module(self) -> bool:
+        return any(self.source.module == prefix
+                   or self.source.module.startswith(prefix + ".")
+                   for prefix in self.config.kernel_module_prefixes)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self,
+                        node: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def _in_reference_path(self) -> bool:
+        return any("reference" in name for name in self._function_stack)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._in_kernel_module() and not self._in_reference_path():
+            name = self._edge_array_name(node.iter)
+            if name is not None:
+                self.flag(node, "RPL510",
+                          f"Python loop over per-edge array `{name}`; "
+                          "sampling paths must stay whole-batch numpy "
+                          "(vectorize, or move the loop into a "
+                          "*_reference function)")
+        self.generic_visit(node)
+
+    def _edge_array_name(self, expr: ast.expr) -> str | None:
+        names = self.config.kernel_edge_array_names
+        candidates = [expr]
+        if (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in {"enumerate", "zip"}):
+            candidates = list(expr.args)
+        for cand in candidates:
+            if isinstance(cand, ast.Name) and cand.id in names:
+                return cand.id
+            if isinstance(cand, ast.Attribute) and cand.attr in names:
+                return cand.attr
+        return None
 
 
 @register_checker

@@ -249,6 +249,18 @@ class LintConfig:
     #: per-vertex ``writer.add(...)`` loops or pair-stream ``write``.
     block_streaming_module_prefixes: tuple[str, ...] = (
         "repro.system", "repro.dist")
+    #: Module prefixes holding the batched sampling kernel, where a
+    #: Python ``for`` loop over a per-edge array would reinsert the
+    #: O(|E|) interpreter loop the vectorized backends exist to remove.
+    #: Functions whose name mentions ``reference`` are exempt (the
+    #: paper-faithful per-edge engine is a loop by design).
+    kernel_module_prefixes: tuple[str, ...] = (
+        "repro.core.generator", "repro.core.alias")
+    #: Names of per-edge arrays in the kernel: looping over one of
+    #: these (directly, or via ``enumerate``/``zip``) is RPL510.
+    kernel_edge_array_names: frozenset[str] = frozenset(
+        {"rows", "dests", "destinations", "xs", "refill_rows",
+         "new_dests"})
     #: Module prefixes where raw ``time.perf_counter()`` pairs are
     #: forbidden: pipeline timing must flow through
     #: ``repro.telemetry`` (``span()`` / ``Stopwatch``) so it lands in

@@ -79,17 +79,20 @@ class TrillionG:
                  num_edges: int | None = None,
                  noise: float = 0.0,
                  engine: str = "vectorized",
+                 sampler: str | None = None,
                  ideas: IdeaToggles | None = None,
                  seed: int = 0,
                  block_size: int = 4096,
+                 bundle_depth: int = 8,
                  cluster: ClusterSpec | None = None,
                  retry: RetryPolicy | None = None,
                  faults: FaultPlan | None = None) -> None:
         self.generator = RecursiveVectorGenerator(
             scale, edge_factor,
             seed_matrix if seed_matrix is not None else GRAPH500,
-            num_edges=num_edges, noise=noise, engine=engine, ideas=ideas,
-            seed=seed, block_size=block_size)
+            num_edges=num_edges, noise=noise, engine=engine,
+            sampler=sampler, ideas=ideas, seed=seed,
+            block_size=block_size, bundle_depth=bundle_depth)
         self.cluster = cluster
         self.retry = retry
         self.faults = faults

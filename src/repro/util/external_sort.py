@@ -27,26 +27,40 @@ def write_run(keys: np.ndarray, path: Path) -> Path:
 
 
 class _RunReader:
-    """Chunked sequential reader over one sorted run file."""
+    """Chunked sequential reader over one sorted run file.
+
+    Holds one file handle for the lifetime of the reader (a k-way merge
+    calls ``next_chunk`` O(total/chunk) times per run; reopening and
+    seeking every call costs a syscall pair per chunk and defeats the
+    OS readahead).  Close via :meth:`close` or use as a context manager.
+    """
 
     def __init__(self, path: Path, chunk_items: int) -> None:
         self._path = Path(path)
         self._chunk = max(chunk_items, 1)
         self._offset = 0
         self._total = self._path.stat().st_size // 8
-        self._buffer = np.empty(0, dtype=np.int64)
-        self._pos = 0
+        self._file = open(self._path, "rb")
 
     def next_chunk(self) -> np.ndarray | None:
         """Return the next chunk of keys, or None at end of run."""
         if self._offset >= self._total:
             return None
         count = min(self._chunk, self._total - self._offset)
-        with open(self._path, "rb") as f:
-            f.seek(self._offset * 8)
-            chunk = np.fromfile(f, dtype=np.int64, count=count)
+        # The handle is private and only advanced here, so the file
+        # position is always exactly offset * 8: plain sequential reads.
+        chunk = np.fromfile(self._file, dtype=np.int64, count=count)
         self._offset += count
         return chunk
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "_RunReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __iter__(self) -> Iterator[int]:
         while True:
@@ -65,68 +79,76 @@ def merge_sorted_runs(paths: Iterable[Path],
     run's head, and refill.  Falls back to heapq element merge only inside
     overlapping regions via numpy merging, keeping the loop vectorized.
     """
-    readers = [_RunReader(p, chunk_items) for p in paths]
-    # Simple robust strategy: heap of (first_key, run_index, chunk, pos).
-    heap: list[tuple[int, int]] = []
-    chunks: dict[int, np.ndarray] = {}
-    positions: dict[int, int] = {}
-    for idx, reader in enumerate(readers):
-        chunk = reader.next_chunk()
-        if chunk is not None and chunk.size:
-            chunks[idx] = chunk
-            positions[idx] = 0
-            heapq.heappush(heap, (int(chunk[0]), idx))
-
-    pending: list[np.ndarray] = []
-    pending_items = 0
-    last_emitted: int | None = None
-
-    def flush() -> Iterator[np.ndarray]:
-        nonlocal pending, pending_items, last_emitted
-        if not pending:
-            return
-        merged = np.concatenate(pending)
-        pending = []
-        pending_items = 0
-        if merged.size:
-            out = np.sort(merged)
-            keep = np.empty(out.size, dtype=bool)
-            keep[0] = last_emitted is None or out[0] != last_emitted
-            np.not_equal(out[1:], out[:-1], out=keep[1:])
-            out = out[keep]
-            if out.size:
-                last_emitted = int(out[-1])
-                yield out
-
-    while heap:
-        _, idx = heapq.heappop(heap)
-        chunk = chunks[idx]
-        pos = positions[idx]
-        if heap:
-            # Emit the part of this chunk that is <= the next run's head;
-            # anything beyond may interleave with other runs.
-            bound = heap[0][0]
-            cut = int(np.searchsorted(chunk, bound, side="right"))
-            cut = max(cut, pos + 1)
-        else:
-            cut = chunk.size
-        pending.append(chunk[pos:cut])
-        pending_items += cut - pos
-        if cut < chunk.size:
-            positions[idx] = cut
-            heapq.heappush(heap, (int(chunk[cut]), idx))
-        else:
-            refill = readers[idx].next_chunk()
-            if refill is not None and refill.size:
-                chunks[idx] = refill
+    readers = []
+    try:
+        for p in paths:
+            readers.append(_RunReader(p, chunk_items))
+        # Simple robust strategy: heap of (first_key, run_index).
+        heap: list[tuple[int, int]] = []
+        chunks: dict[int, np.ndarray] = {}
+        positions: dict[int, int] = {}
+        for idx, reader in enumerate(readers):
+            chunk = reader.next_chunk()
+            if chunk is not None and chunk.size:
+                chunks[idx] = chunk
                 positions[idx] = 0
-                heapq.heappush(heap, (int(refill[0]), idx))
+                heapq.heappush(heap, (int(chunk[0]), idx))
+
+        pending: list[np.ndarray] = []
+        pending_items = 0
+        last_emitted: int | None = None
+
+        def flush() -> Iterator[np.ndarray]:
+            nonlocal pending, pending_items, last_emitted
+            if not pending:
+                return
+            merged = np.concatenate(pending)
+            pending = []
+            pending_items = 0
+            if merged.size:
+                out = np.sort(merged)
+                keep = np.empty(out.size, dtype=bool)
+                keep[0] = last_emitted is None or out[0] != last_emitted
+                np.not_equal(out[1:], out[:-1], out=keep[1:])
+                out = out[keep]
+                if out.size:
+                    last_emitted = int(out[-1])
+                    yield out
+
+        while heap:
+            _, idx = heapq.heappop(heap)
+            chunk = chunks[idx]
+            pos = positions[idx]
+            if heap:
+                # Emit the part of this chunk that is <= the next run's
+                # head; anything beyond may interleave with other runs.
+                bound = heap[0][0]
+                cut = int(np.searchsorted(chunk, bound, side="right"))
+                cut = max(cut, pos + 1)
             else:
-                chunks.pop(idx, None)
-                positions.pop(idx, None)
-        if pending_items >= chunk_items:
-            yield from flush()
-    yield from flush()
+                cut = chunk.size
+            pending.append(chunk[pos:cut])
+            pending_items += cut - pos
+            if cut < chunk.size:
+                positions[idx] = cut
+                heapq.heappush(heap, (int(chunk[cut]), idx))
+            else:
+                refill = readers[idx].next_chunk()
+                if refill is not None and refill.size:
+                    chunks[idx] = refill
+                    positions[idx] = 0
+                    heapq.heappush(heap, (int(refill[0]), idx))
+                else:
+                    chunks.pop(idx, None)
+                    positions.pop(idx, None)
+            if pending_items >= chunk_items:
+                yield from flush()
+        yield from flush()
+    finally:
+        # Generator finalization (exhaustion, close(), or an exception
+        # mid-merge) must not leak the per-run handles.
+        for reader in readers:
+            reader.close()
 
 
 def external_sort_unique(paths: Iterable[Path],

@@ -1,0 +1,249 @@
+"""The linear-work alias-bundle sampling backend.
+
+Covers the table layer (:mod:`repro.core.alias`: bundle PMFs, Vose
+construction, vectorized draws), the ``_AliasSampler`` backend inside
+the generator (distributional agreement with the exact conditional
+P(v|u), determinism, bundle-depth plumbing), and the ``gen.alias.*``
+telemetry including the headline ``recursions_per_edge`` collapse.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.core.alias import build_alias_table, bundle_pmf, sample_alias
+from repro.core.generator import RecursiveVectorGenerator
+from repro.core.probability import edge_probability, row_probability
+from repro.core.seed import GRAPH500, SeedMatrix
+from repro.errors import ConfigurationError
+
+
+class TestBundlePmf:
+    def test_matches_explicit_product(self):
+        probs = np.array([0.3, 0.8, 0.5])
+        pmf = bundle_pmf(probs)
+        assert pmf.size == 8
+        for w in range(8):
+            expected = 1.0
+            for j, p in enumerate(probs):
+                expected *= p if (w >> j) & 1 else 1.0 - p
+            assert pmf[w] == pytest.approx(expected)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_degenerate_probs_concentrate_mass(self):
+        pmf = bundle_pmf(np.array([0.0, 1.0]))
+        # bit0 forced to 0, bit1 forced to 1 -> index 0b10.
+        assert pmf[2] == 1.0
+        assert pmf.sum() == 1.0
+
+    def test_rejects_bad_shapes_and_depth(self):
+        with pytest.raises(ValueError):
+            bundle_pmf(np.empty(0))
+        with pytest.raises(ValueError):
+            bundle_pmf(np.full((2, 2), 0.5))
+        with pytest.raises(ValueError):
+            bundle_pmf(np.full(25, 0.5))
+
+
+class TestBuildAliasTable:
+    def exact_probabilities(self, prob, alias):
+        """Per-outcome mass implied by the table (slot 1/n each)."""
+        n = prob.size
+        mass = np.zeros(n)
+        for i in range(n):
+            mass[i] += prob[i] / n
+            mass[alias[i]] += (1.0 - prob[i]) / n
+        return mass
+
+    @pytest.mark.parametrize("weights", [
+        [1.0, 1.0, 1.0, 1.0],
+        [0.5, 0.25, 0.125, 0.125],
+        [10.0, 1.0, 1e-6, 3.0],
+        [0.0, 1.0, 0.0, 2.0],   # zero-weight outcomes
+        [7.0],                  # single outcome
+    ])
+    def test_table_reproduces_weights_exactly(self, weights):
+        w = np.asarray(weights, dtype=np.float64)
+        prob, alias = build_alias_table(w)
+        mass = self.exact_probabilities(prob, alias)
+        np.testing.assert_allclose(mass, w / w.sum(), atol=1e-12)
+
+    def test_zero_weight_outcomes_never_drawn(self):
+        prob, alias = build_alias_table(np.array([0.0, 3.0, 0.0, 1.0]))
+        rng = np.random.default_rng(0)
+        draws = sample_alias(prob, alias, rng.random(20000),
+                             rng.random(20000))
+        assert set(np.unique(draws)) <= {1, 3}
+
+    def test_rejects_invalid_weights(self):
+        for bad in ([], [[1.0, 2.0]], [1.0, -0.5], [np.nan, 1.0],
+                    [np.inf, 1.0], [0.0, 0.0]):
+            with pytest.raises(ValueError):
+                build_alias_table(np.asarray(bad, dtype=np.float64))
+
+    def test_sample_alias_chi_square(self):
+        w = np.array([0.45, 0.05, 0.3, 0.2])
+        prob, alias = build_alias_table(w)
+        rng = np.random.default_rng(7)
+        n = 200000
+        draws = sample_alias(prob, alias, rng.random(n), rng.random(n))
+        counts = np.bincount(draws, minlength=4)
+        expected = w * n
+        chi2 = (((counts - expected) ** 2) / expected).sum()
+        assert sps.chi2.sf(chi2, 3) > 1e-4
+
+    def test_slot_saturation_is_safe(self):
+        # slot_u == 1 - eps must clamp to the last slot, never index n.
+        prob, alias = build_alias_table(np.array([1.0, 2.0, 3.0]))
+        u = np.array([np.nextafter(1.0, 0.0)])
+        out = sample_alias(prob, alias, u, np.array([0.0]))
+        assert 0 <= out[0] < 3
+
+
+class TestAliasBackend:
+    def test_sampler_matches_exact_distribution(self):
+        """The headline correctness property: bundle + fill reproduces
+        the exact conditional distribution P(v|u) (chi-square GOF)."""
+        levels, u, n = 6, 11, 200000
+        # bundle_depth 4 < levels so both the gather and the fill run.
+        g = RecursiveVectorGenerator(levels, 4, sampler="alias",
+                                     bundle_depth=4, seed=0)
+        sampler = g._build_alias_sampler(
+            np.array([u], dtype=np.uint64))
+        rng = np.random.default_rng(3)
+        vs = sampler.sample(np.zeros(n, dtype=np.int64), rng)
+        counts = np.bincount(vs, minlength=1 << levels)
+        p_row = row_probability(GRAPH500, u, levels)
+        expected = np.array(
+            [edge_probability(GRAPH500, u, v, levels) / p_row
+             for v in range(1 << levels)]) * n
+        keep = expected > 5
+        chi2 = (((counts[keep] - expected[keep]) ** 2)
+                / expected[keep]).sum()
+        dof = int(keep.sum()) - 1
+        assert sps.chi2.sf(chi2, dof) > 1e-4
+
+    def test_alias_agrees_with_vectorized(self):
+        """Two-sample chi-square between backend destination histograms."""
+        def histogram(engine, seed):
+            g = RecursiveVectorGenerator(9, 16, seed=seed, engine=engine)
+            return np.bincount(g.edges()[:, 1], minlength=512)
+        h1 = histogram("vectorized", 100)
+        h2 = histogram("alias", 200)
+        keep = (h1 + h2) > 20
+        a, b = h1[keep].astype(float), h2[keep].astype(float)
+        na, nb = a.sum(), b.sum()
+        pooled = (a + b) / (na + nb)
+        chi2 = (((a - na * pooled) ** 2) / (na * pooled)
+                + ((b - nb * pooled) ** 2) / (nb * pooled)).sum()
+        assert sps.chi2.sf(chi2, int(keep.sum()) - 1) > 1e-4
+
+    def test_deterministic_per_seed(self):
+        a = RecursiveVectorGenerator(10, 4, sampler="alias", seed=5).edges()
+        b = RecursiveVectorGenerator(10, 4, sampler="alias", seed=5).edges()
+        np.testing.assert_array_equal(a, b)
+
+    def test_bundle_depth_is_part_of_the_determinism_key(self):
+        a = RecursiveVectorGenerator(12, 4, sampler="alias", seed=5,
+                                     bundle_depth=8).edges()
+        b = RecursiveVectorGenerator(12, 4, sampler="alias", seed=5,
+                                     bundle_depth=4).edges()
+        assert not np.array_equal(a, b)
+
+    def test_scale_at_or_below_bundle_depth_is_pure_bundle(self):
+        # Effective depth caps at scale: no fill draws, still valid.
+        g = RecursiveVectorGenerator(6, 4, sampler="alias", seed=1,
+                                     bundle_depth=8)
+        e = g.edges()
+        assert e.size and (0 <= e).all() and (e < 64).all()
+
+    def test_table_cache_reused_across_blocks(self):
+        g = RecursiveVectorGenerator(13, 2, sampler="alias", seed=2,
+                                     block_size=1024)
+        for _ in g.iter_blocks():
+            pass
+        # scale 13, depth 8 -> patterns are the top 8 bits: 256 total,
+        # and every one is hit because the run covers all sources.
+        assert len(g._alias_tables) == 256
+        first = {k: (p.copy(), a.copy())
+                 for k, (p, a) in g._alias_tables.items()}
+        for _ in g.iter_blocks(0, 2048):
+            pass
+        for k, (p, a) in first.items():
+            np.testing.assert_array_equal(p, g._alias_tables[k][0])
+
+    def test_sampler_kwarg_maps_to_engines(self):
+        assert RecursiveVectorGenerator(
+            8, 4, sampler="recvec").engine == "vectorized"
+        assert RecursiveVectorGenerator(
+            8, 4, sampler="bitwise").engine == "bitwise"
+        assert RecursiveVectorGenerator(
+            8, 4, sampler="alias").engine == "alias"
+
+    def test_invalid_sampler_and_bundle_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecursiveVectorGenerator(8, 4, sampler="huffman")
+        for depth in (0, -1, 25):
+            with pytest.raises(ConfigurationError):
+                RecursiveVectorGenerator(8, 4, sampler="alias",
+                                         bundle_depth=depth)
+
+    def test_degenerate_seed_entries(self):
+        # Initiator with 0/1 column sums: every destination bit is
+        # forced, so dest == source for all edges.
+        m = SeedMatrix.rmat(0.9, 0.0, 0.0, 0.1)
+        g = RecursiveVectorGenerator(6, 2, m, sampler="alias",
+                                     dedup=False, seed=3)
+        e = g.edges()
+        assert e.size and (e[:, 0] == e[:, 1]).all()
+
+    def test_draw_accounting(self):
+        g = RecursiveVectorGenerator(12, 4, sampler="alias", seed=9,
+                                     dedup=False)
+        total = sum(b.num_edges for b in g.iter_blocks())
+        # 2 uniforms per bundle + one per fill level (12 - 8 = 4).
+        assert g.stats.random_draws == total * (2 + 4)
+
+
+class TestAliasTelemetry:
+    @pytest.fixture(autouse=True)
+    def telemetry(self):
+        from repro.telemetry import enable_telemetry, registry
+        enable_telemetry(True)
+        registry().reset()
+        yield registry()
+        enable_telemetry(False)
+
+    def test_gen_alias_counters(self, telemetry):
+        g = RecursiveVectorGenerator(12, 8, sampler="alias", seed=5)
+        edges = sum(b.num_edges for b in g.iter_blocks())
+        snap = telemetry.snapshot()
+        assert snap["gen.alias.tables_built"]["value"] == \
+            len(g._alias_tables)
+        assert snap["gen.alias.build_seconds"]["value"] > 0.0
+        # Every requested destination (including dedup top-ups) is one
+        # bundle draw with fill = scale - depth bits.
+        bundles = snap["gen.alias.bundle_draws"]["value"]
+        assert bundles >= edges
+        assert snap["gen.alias.fill_bits"]["value"] == bundles * 4
+
+    def test_recursions_per_edge_collapses(self, telemetry):
+        """Acceptance criterion: alias-backend mean recursions/edge is
+        <= (levels - bundle_depth) + 1."""
+        scale, depth = 14, 8
+        g = RecursiveVectorGenerator(scale, 8, sampler="alias", seed=5,
+                                     bundle_depth=depth)
+        for _ in g.iter_blocks():
+            pass
+        hist = telemetry.snapshot()["generator.recursions_per_edge"]
+        mean = hist["sum"] / hist["count"]
+        assert mean <= (scale - depth) + 1
+
+    def test_bytes_identical_with_telemetry_on_and_off(self, telemetry):
+        from repro.telemetry import enable_telemetry
+        on = RecursiveVectorGenerator(10, 4, sampler="alias",
+                                      seed=7).edges()
+        enable_telemetry(False)
+        off = RecursiveVectorGenerator(10, 4, sampler="alias",
+                                       seed=7).edges()
+        np.testing.assert_array_equal(on, off)

@@ -110,6 +110,18 @@ class TestDegrees:
             g.degrees(10, 5)
         with pytest.raises(ValueError):
             g.degrees(0, 10**9)
+        with pytest.raises(ValueError):
+            g.degrees(-1, 5)
+
+    def test_empty_ranges_return_empty_results(self):
+        """[k, k) is a valid (empty) scope range, matching the format
+        layer's empty-AdjacencyBlock handling — not a ValueError."""
+        g = RecursiveVectorGenerator(8)
+        for k in (0, 5, 255, 256):
+            assert g.degrees(k, k).shape == (0,)
+            assert g.edges(k, k).shape == (0, 2)
+            assert list(g.iter_adjacency(k, k)) == []
+            assert list(g.iter_blocks(k, k)) == []
 
 
 class TestAdjacencyBlock:
@@ -262,3 +274,72 @@ class TestStatsObject:
         assert a.edges == 30
         assert a.max_scope_size == 9
         assert a.recvec_builds == 5
+
+
+class TestDegenerateSeedEntries:
+    """Regression: initiators with exact 0/1 entries force destination
+    bits.  The samplers must short-circuit those levels — no division by
+    zero in the single-uniform rescale, no randomness burned on certain
+    events."""
+
+    SELF_LOOPS = SeedMatrix.rmat(0.9, 0.0, 0.0, 0.1)   # dest bit == src bit
+    ALL_ZERO = SeedMatrix.rmat(0.6, 0.0, 0.4, 0.0)     # dest always 0
+
+    @pytest.mark.parametrize("engine", ["bitwise", "alias"])
+    def test_batched_engines_force_bits(self, engine):
+        g = RecursiveVectorGenerator(6, 2, self.SELF_LOOPS, engine=engine,
+                                     dedup=False, seed=3)
+        e = g.edges()
+        assert e.size and (e[:, 0] == e[:, 1]).all()
+        g0 = RecursiveVectorGenerator(6, 2, self.ALL_ZERO, engine=engine,
+                                      dedup=False, seed=3)
+        e0 = g0.edges()
+        assert e0.size and (e0[:, 1] == 0).all()
+
+    def test_bitwise_sampler_consumes_no_draws_on_forced_levels(self):
+        from repro.core.generator import _BitwiseSampler
+        from repro.core.process import PlainProcess
+        levels = 6
+        # ALL_ZERO forces every level for every source (p == 0 across
+        # the column); SELF_LOOPS forces bits per source, which cannot
+        # be short-circuited level-wise.
+        proc = PlainProcess(self.ALL_ZERO, levels)
+        sources = np.arange(1 << levels, dtype=np.uint64)
+        sampler = _BitwiseSampler(proc.bit_probabilities(sources), levels)
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        out = sampler.sample(np.arange(1 << levels, dtype=np.int64), rng)
+        np.testing.assert_array_equal(out, np.zeros(1 << levels))
+        # Every level is degenerate, so the stream must be untouched.
+        assert rng.bit_generator.state == before
+
+    @pytest.mark.parametrize("single_random", [True, False])
+    def test_reference_bitpeel_engine(self, single_random):
+        ideas = IdeaToggles(reuse_recvec=True, reduce_recursions=False,
+                            single_random=single_random)
+        g = RecursiveVectorGenerator(6, 2, self.SELF_LOOPS,
+                                     engine="reference", ideas=ideas,
+                                     dedup=False, seed=3)
+        e = g.edges()
+        assert e.size and (e[:, 0] == e[:, 1]).all()
+        if not single_random:
+            # All levels forced: the fresh-uniform mode draws nothing.
+            assert g.stats.random_draws == 0
+
+    def test_bitpeel_single_uniform_cannot_divide_by_zero(self):
+        """Repeated rescaling can round x up to exactly 1.0; entering a
+        p == 0 level in that state used to evaluate (1.0 - 1.0) / 0.0.
+        Simulate the worst case by feeding the boundary uniform."""
+        from repro.core.generator import (GenerationStats,
+                                          _sample_destination_bitpeel)
+
+        class BoundaryRng:
+            def random(self):
+                return 1.0
+
+        bit_probs = np.array([0.0, 0.5, 0.0, 1.0])
+        v = _sample_destination_bitpeel(bit_probs, BoundaryRng(), True,
+                                        GenerationStats())
+        # Bit 3 forced to 1, bits 2 and 0 forced to 0; x == 1.0 lands in
+        # the upper branch of the one live level (bit 1).
+        assert v == 0b1010

@@ -92,6 +92,29 @@ OUTPUT_DIGESTS = {
 NOISE_ADJ6_DIGEST = \
     "ee58f18fb6bd9bfabc1a0660050fe43a1fb549d452d2bc990afd5748db741518"
 
+# Per-sampler adj6 digests at the same configuration.  Each backend is
+# deterministic per (params, seed), but the backends are intentionally
+# NOT byte-identical to one another: they consume their edge streams in
+# different shapes (one translation uniform vs. per-level Bernoullis
+# vs. slot/coin/fill batches).  ``recvec`` must stay the default.
+SAMPLER_ADJ6_DIGESTS = {
+    "recvec":
+        "94edec94a19eb79196b23943d46d4ddf9130f16e109b6e253f230e7f974574bc",
+    "bitwise":
+        "54b46034484b9541e723fa0413274458d5af5835792d7d2c239ac6c87635c747",
+    "alias":
+        "d3b53a944821009b1ac2ef838196d5012426832426412c0a3bedfdb6090ffd2c",
+}
+
+# bundle_depth is part of the alias backend's determinism key: a
+# different depth is a different (equally valid) graph.
+ALIAS_DEPTH4_ADJ6_DIGEST = \
+    "c598084bdfa2d730d0e943121c49d30af2f0f215f43a474a9132384a914e5787"
+
+# Edge-array digest of the alias backend, checked both sequentially and
+# through the distributed runner (workers must honor the sampler).
+ALIAS_EDGE_DIGEST = "84980a12758b04d3"
+
 
 def write_digest(tmp_path, fmt_name, **kwargs):
     kwargs.setdefault("seed", 42)
@@ -110,6 +133,41 @@ def test_output_digests_frozen(tmp_path):
 
 def test_noise_output_digest_frozen(tmp_path):
     assert write_digest(tmp_path, "adj6", noise=0.1) == NOISE_ADJ6_DIGEST
+
+
+def test_sampler_digests_frozen(tmp_path):
+    for sampler, expected in SAMPLER_ADJ6_DIGESTS.items():
+        assert write_digest(tmp_path, "adj6", sampler=sampler) == \
+            expected, f"sampler {sampler!r} output drifted"
+
+
+def test_sampler_digests_are_pairwise_distinct():
+    assert len(set(SAMPLER_ADJ6_DIGESTS.values())) == \
+        len(SAMPLER_ADJ6_DIGESTS)
+
+
+def test_default_engine_is_the_recvec_sampler():
+    assert SAMPLER_ADJ6_DIGESTS["recvec"] == OUTPUT_DIGESTS["adj6"]
+
+
+def test_alias_bundle_depth_digest_frozen(tmp_path):
+    assert write_digest(tmp_path, "adj6", sampler="alias",
+                        bundle_depth=4) == ALIAS_DEPTH4_ADJ6_DIGEST
+
+
+def test_alias_digest_stable_through_distributed_runner(tmp_path):
+    """Workers rebuild the generator from the picklable recipe; the
+    sampler and bundle depth must survive the round trip and reproduce
+    the sequential bytes exactly."""
+    from repro.dist.runner import LocalCluster
+    gen = RecursiveVectorGenerator(8, 4, seed=42, sampler="alias")
+    cluster = LocalCluster(num_workers=3)
+    res = cluster.generate_to_files(gen, tmp_path / "parts", "adj6",
+                                    processes=2)
+    dist_edges = cluster.read_all_edges(res, "adj6")
+    assert edge_digest(dist_edges) == ALIAS_EDGE_DIGEST
+    seq = RecursiveVectorGenerator(8, 4, seed=42, sampler="alias")
+    assert edge_digest(seq.edges()) == ALIAS_EDGE_DIGEST
 
 
 def test_avs_in_matches_avs_out_for_symmetric_matrix(tmp_path):

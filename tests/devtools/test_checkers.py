@@ -479,3 +479,84 @@ def test_telemetry_layering_rule_blocks_upward_imports(tmp_path):
                 "from repro.formats import get_format\n",
                 module="repro.telemetry.export")
     assert codes(found) == ["RPL201"]
+
+
+# ---------------------------------------------------------------------------
+# kernel-vectorization (RPL510)
+# ---------------------------------------------------------------------------
+
+KERNEL_FLAG = [
+    "def sample(self, rng, n):\n"
+    "    for r in rows:\n"
+    "        out[r] = 1\n",
+    "def sample(self, rng, n):\n"
+    "    for i, d in enumerate(dests):\n"
+    "        out[i] = d\n",
+    "def _fill(self):\n"
+    "    for r, d in zip(rows, dests):\n"
+    "        emit(r, d)\n",
+    "def _fill(self):\n"
+    "    for d in self.destinations:\n"
+    "        emit(d)\n",
+    "def retry(self):\n"
+    "    for r in refill_rows:\n"
+    "        redraw(r)\n",
+]
+
+KERNEL_PASS = [
+    # Per-block / per-table loops are O(block) or O(2^b), not O(|E|).
+    "def build(self):\n"
+    "    for code in patterns:\n"
+    "        make_table(code)\n",
+    "def build(self):\n"
+    "    for level in range(self.levels):\n"
+    "        peel(level)\n",
+    "def degrees(self):\n"
+    "    for src in sources:\n"
+    "        count(src)\n",
+    # The paper-faithful engine is a per-edge loop by design.
+    "def _generate_block_reference(self):\n"
+    "    for r in rows:\n"
+    "        step(r)\n",
+    "def _sample_destination_reference(self, rng):\n"
+    "    for d in dests:\n"
+    "        check(d)\n",
+]
+
+
+@pytest.mark.parametrize("code", KERNEL_FLAG)
+def test_kernel_vectorization_flags_per_edge_loops(tmp_path, code):
+    for module in ("repro.core.generator", "repro.core.alias"):
+        found = run(tmp_path, "kernel-vectorization", code, module=module)
+        assert codes(found) == ["RPL510"], (module, found)
+
+
+@pytest.mark.parametrize("code", KERNEL_PASS)
+def test_kernel_vectorization_passes_batch_loops(tmp_path, code):
+    assert run(tmp_path, "kernel-vectorization", code,
+               module="repro.core.generator") == []
+
+
+@pytest.mark.parametrize("code", KERNEL_FLAG)
+def test_kernel_vectorization_ignores_non_kernel_modules(tmp_path, code):
+    for module in ("repro.system", "repro.core.recvec"):
+        assert run(tmp_path, "kernel-vectorization", code,
+                   module=module) == [], module
+
+
+def test_kernel_vectorization_prefixes_configurable(tmp_path):
+    config = config_with(kernel_module_prefixes=("mypkg.kernel",))
+    code = "def f():\n    for r in rows:\n        g(r)\n"
+    found = run(tmp_path, "kernel-vectorization", code,
+                module="mypkg.kernel.sampler", config=config)
+    assert codes(found) == ["RPL510"]
+    assert run(tmp_path, "kernel-vectorization", code,
+               module="repro.core.generator", config=config) == []
+
+
+def test_kernel_vectorization_pragma_suppression(tmp_path):
+    code = ("def f():\n"
+            "    for r in rows:  # reprolint: disable=RPL510\n"
+            "        g(r)\n")
+    assert run(tmp_path, "kernel-vectorization", code,
+               module="repro.core.generator") == []

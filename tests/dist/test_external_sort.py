@@ -82,6 +82,99 @@ class TestMergeSortedRuns:
             np.concatenate(seen), np.unique(np.concatenate(arrays)))
 
 
+class TestMergeAdversarialCases:
+    """Hand-built worst cases for the chunk-level merge's cut logic."""
+
+    def check(self, tmp_path, arrays, chunk_items):
+        paths = make_runs(tmp_path, arrays)
+        out = list(merge_sorted_runs(paths, chunk_items=chunk_items))
+        merged = (np.concatenate(out) if out
+                  else np.empty(0, dtype=np.int64))
+        flat = [np.asarray(a, dtype=np.int64) for a in arrays]
+        expected = np.unique(np.concatenate(flat)) if flat \
+            else np.empty(0, dtype=np.int64)
+        np.testing.assert_array_equal(merged, expected)
+
+    def test_duplicates_straddle_flush_boundary(self, tmp_path):
+        # chunk_items=4 puts the flush boundary inside the run of 7s:
+        # the second 7 arrives after last_emitted == 7 and must be
+        # dropped by the cross-flush dedup, not re-emitted.
+        self.check(tmp_path, [[1, 3, 7, 7, 9], [2, 7, 8]], 4)
+
+    def test_chunk_equals_next_runs_head(self, tmp_path):
+        # Run A's entire buffered chunk equals run B's head, so the
+        # side="right" cut takes the whole chunk in one step; the equal
+        # keys must still collapse to one.
+        self.check(tmp_path, [[5, 5, 5], [5, 6, 7]], 3)
+
+    def test_all_runs_identical_constant(self, tmp_path):
+        self.check(tmp_path, [[4] * 10, [4] * 10, [4] * 10], 4)
+
+    def test_single_run_passthrough(self, tmp_path):
+        self.check(tmp_path, [[1, 2, 2, 3, 10]], 2)
+
+    def test_empty_runs_mixed_with_data(self, tmp_path):
+        self.check(tmp_path, [[], [1, 2], [], [2, 3]], 8)
+
+    def test_all_runs_empty(self, tmp_path):
+        self.check(tmp_path, [[], []], 8)
+
+
+class TestReaderHandleLifecycle:
+    """Satellite regression: one open per run for the whole merge, and
+    no handle leaks when the merge stops early or raises."""
+
+    def test_reader_reads_sequentially_from_one_handle(self, tmp_path):
+        from repro.util.external_sort import _RunReader
+        data = np.arange(10, dtype=np.int64)
+        path = write_run(data, tmp_path / "run.bin")
+        with _RunReader(path, chunk_items=3) as reader:
+            chunks = []
+            while (chunk := reader.next_chunk()) is not None:
+                chunks.append(chunk)
+            np.testing.assert_array_equal(np.concatenate(chunks), data)
+            assert not reader._file.closed
+        assert reader._file.closed
+
+    def test_merge_closes_all_readers_on_completion(self, tmp_path):
+        from repro.util import external_sort as es
+        opened = []
+        original = es._RunReader.__init__
+
+        def tracking(self, path, chunk_items):
+            original(self, path, chunk_items)
+            opened.append(self)
+
+        paths = make_runs(tmp_path, [[1, 2], [2, 3], []])
+        try:
+            es._RunReader.__init__ = tracking
+            list(es.merge_sorted_runs(paths, chunk_items=1))
+        finally:
+            es._RunReader.__init__ = original
+        assert len(opened) == 3
+        assert all(r._file.closed for r in opened)
+
+    def test_merge_closes_readers_when_abandoned_mid_merge(self, tmp_path):
+        from repro.util import external_sort as es
+        opened = []
+        original = es._RunReader.__init__
+
+        def tracking(self, path, chunk_items):
+            original(self, path, chunk_items)
+            opened.append(self)
+
+        paths = make_runs(tmp_path, [np.arange(100), np.arange(100, 200)])
+        try:
+            es._RunReader.__init__ = tracking
+            stream = es.merge_sorted_runs(paths, chunk_items=4)
+            next(stream)           # start the merge, then bail out
+            stream.close()         # generator finalization mid-merge
+        finally:
+            es._RunReader.__init__ = original
+        assert len(opened) == 2
+        assert all(r._file.closed for r in opened)
+
+
 @settings(max_examples=30, deadline=None,
           suppress_health_check=[HealthCheck.function_scoped_fixture])
 @given(st.lists(st.lists(st.integers(-100, 100), max_size=60),
