@@ -1,0 +1,220 @@
+"""External-memory merge engine benchmarks: streaming vs naive merge,
+and the bounded-RSS proof run.
+
+The pipelined engine (:mod:`repro.util.external_sort`) replaced a
+whole-array external sort; these benchmarks keep it honest:
+
+- ``test_streaming_beats_naive`` is the CI perf-smoke gate: the chunked
+  k-way merge must sustain >= 1.5x the keys/s of a naive element-level
+  ``heapq.merge`` + Python dedup over the same scale-18 spill volume
+  (it lands far above that — the margin is a regression tripwire, not a
+  target).
+- ``test_spill_exceeds_rss_cap`` is the bounded-memory proof: a fresh
+  subprocess spills and merges several times more bytes than a hard
+  peak-RSS cap, and ``resource.getrusage`` must show the process never
+  grew past the cap while ``extsort.spill_bytes`` shows the volume
+  really went through disk.
+- ``test_emit_bench_json`` writes ``BENCH_extmem.json`` at the repo
+  root so later PRs have an engine-perf trajectory to compare against.
+"""
+
+import heapq
+import itertools
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.telemetry import registry, reset_telemetry
+from repro.util.external_sort import (_RunReader, collect_chunks,
+                                      iter_unique_keys)
+from repro.util.spill import SpillStore
+
+SMOKE_SCALE = 18
+EDGE_FACTOR = 16
+NUM_RUNS = 16
+FAN_IN = 4
+SEED = 23
+
+#: Hard peak-RSS cap for the proof run (bytes) — the merge must move
+#: several times this volume through disk without ever holding it.
+RSS_CAP_BYTES = 256 * 1024 * 1024
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _spill_runs(directory, total_keys, num_runs, seed=SEED):
+    """Spill ``num_runs`` sorted runs of random packed keys."""
+    rng = np.random.default_rng(seed)
+    space = np.int64(1) << np.int64(SMOKE_SCALE + 8)
+    store = SpillStore(directory)
+    per_run = total_keys // num_runs
+    for _ in range(num_runs):
+        store.add_run(np.sort(rng.integers(0, space, size=per_run,
+                                           dtype=np.int64)))
+    return store
+
+
+def _naive_merge_rate(store):
+    """Element-level ``heapq.merge`` + Python dedup: the shape of merge
+    the chunked engine replaced.  Returns (unique_keys, seconds)."""
+    readers = [_RunReader(p, 1 << 16) for p in store.runs]
+    t0 = time.perf_counter()
+    unique = 0
+    for _key, _ in itertools.groupby(heapq.merge(*readers)):
+        unique += 1
+    seconds = time.perf_counter() - t0
+    for reader in readers:
+        reader.close()
+    return unique, seconds
+
+
+def _streaming_merge_rate(store):
+    """The bounded fan-in chunked merge. Returns (unique_keys, seconds)."""
+    t0 = time.perf_counter()
+    unique = 0
+    for chunk in store.iter_unique(fan_in=FAN_IN):
+        unique += int(chunk.size)
+    return unique, time.perf_counter() - t0
+
+
+def _measure(total_keys):
+    with tempfile.TemporaryDirectory(prefix="bench-extmem-") as work:
+        store = _spill_runs(Path(work) / "spill", total_keys, NUM_RUNS)
+        naive_unique, naive_s = _naive_merge_rate(store)
+        stream_unique, stream_s = _streaming_merge_rate(store)
+    assert stream_unique == naive_unique
+    return {
+        "scale": SMOKE_SCALE,
+        "total_keys": total_keys,
+        "unique_keys": stream_unique,
+        "num_runs": NUM_RUNS,
+        "fan_in": FAN_IN,
+        "naive_seconds": round(naive_s, 4),
+        "streaming_seconds": round(stream_s, 4),
+        "naive_keys_per_second": round(total_keys / naive_s),
+        "streaming_keys_per_second": round(total_keys / stream_s),
+        "speedup": round((total_keys / stream_s)
+                         / (total_keys / naive_s), 2),
+    }
+
+
+def _rss_proof_code(work_dir):
+    """Script for the fresh-process bounded-RSS proof run."""
+    return (
+        "import json, resource, sys\n"
+        "from pathlib import Path\n"
+        "import numpy as np\n"
+        "from repro.telemetry import registry\n"
+        "from repro.util.spill import SpillStore\n"
+        f"work = Path({str(work_dir)!r})\n"
+        "rng = np.random.default_rng(7)\n"
+        "store = SpillStore(work / 'spill')\n"
+        "space = np.int64(1) << np.int64(26)\n"
+        "for _ in range(32):\n"
+        "    store.add_run(np.sort(rng.integers(0, space,\n"
+        "        size=1_000_000, dtype=np.int64)))\n"
+        "unique = 0\n"
+        "for chunk in store.iter_unique(chunk_items=1 << 16, fan_in=4):\n"
+        "    unique += int(chunk.size)\n"
+        "rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss\n"
+        "spilled = registry().counter('extsort.spill_bytes').value\n"
+        "json.dump({'unique': unique, 'rss_bytes': rss_kb * 1024,\n"
+        "           'spill_bytes': spilled}, sys.stdout)\n"
+    )
+
+
+def _run_rss_proof():
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    with tempfile.TemporaryDirectory(prefix="bench-extmem-rss-") as work:
+        out = subprocess.run(
+            [sys.executable, "-c", _rss_proof_code(work)],
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, check=True)
+    return json.loads(out.stdout)
+
+
+def test_streaming_beats_naive(table):
+    """CI perf smoke: the chunked engine must hold >= 1.5x the naive
+    element-level merge's throughput at the scale-18 spill volume."""
+    total_keys = EDGE_FACTOR << SMOKE_SCALE
+    record = _measure(total_keys)
+    table(f"Streaming vs naive merge (scale {SMOKE_SCALE}, "
+          f"{NUM_RUNS} runs, fan-in {FAN_IN})",
+          ["engine", "keys/s", "seconds", "speedup"],
+          [["naive heapq", f"{record['naive_keys_per_second']:,}",
+            record["naive_seconds"], "1.00x"],
+           ["streaming", f"{record['streaming_keys_per_second']:,}",
+            record["streaming_seconds"], f"{record['speedup']:.2f}x"]])
+    assert record["speedup"] >= 1.5, (
+        f"streaming merge only {record['speedup']:.2f}x over the naive "
+        f"baseline at scale {SMOKE_SCALE}; the chunked engine regressed")
+
+
+def test_spill_exceeds_rss_cap(table):
+    """Bounded-memory proof: merge a spill volume several times the
+    RSS cap in a fresh process that never exceeds the cap."""
+    proof = _run_rss_proof()
+    table("Bounded-RSS proof run (fresh process)",
+          ["metric", "value"],
+          [["peak RSS", f"{proof['rss_bytes'] / 2**20:,.0f} MiB"],
+           ["bytes spilled", f"{proof['spill_bytes'] / 2**20:,.0f} MiB"],
+           ["RSS cap", f"{RSS_CAP_BYTES / 2**20:,.0f} MiB"],
+           ["unique keys", f"{proof['unique']:,}"]])
+    assert proof["spill_bytes"] > RSS_CAP_BYTES, (
+        "proof run did not spill more than the RSS cap; raise the "
+        "workload")
+    assert proof["rss_bytes"] < RSS_CAP_BYTES, (
+        f"peak RSS {proof['rss_bytes'] / 2**20:.0f} MiB breached the "
+        f"{RSS_CAP_BYTES / 2**20:.0f} MiB cap: the merge is no longer "
+        "memory-bounded")
+
+
+def test_streaming_identical_to_in_memory_small_scale():
+    """The streamed merge emits byte-for-byte the keys ``np.unique``
+    produces over the same spilled batches (small scale)."""
+    rng = np.random.default_rng(3)
+    batches = [rng.integers(0, 1 << 16, size=5000, dtype=np.int64)
+               for _ in range(9)]
+    with tempfile.TemporaryDirectory(prefix="bench-extmem-eq-") as work:
+        store = SpillStore(Path(work) / "spill")
+        for batch in batches:
+            store.add_run(np.sort(batch))
+        streamed = collect_chunks(store.iter_unique(chunk_items=512,
+                                                    fan_in=2))
+        direct = collect_chunks(iter_unique_keys(store.runs,
+                                                 prefetch=False))
+    expected = np.unique(np.concatenate(batches))
+    assert streamed.tobytes() == expected.tobytes()
+    assert direct.tobytes() == expected.tobytes()
+
+
+def test_emit_bench_json(table):
+    """Record the engine-perf trajectory into ``BENCH_extmem.json``."""
+    reset_telemetry()
+    record = _measure(EDGE_FACTOR << SMOKE_SCALE)
+    reg = registry()
+    record["peak_buffered_items"] = int(
+        reg.gauge("extsort.peak_buffered_items", mode="max").value)
+    record["merge_passes"] = int(
+        reg.counter("extsort.merge_passes").value)
+    proof = _run_rss_proof()
+    record["rss_proof"] = {
+        "rss_cap_bytes": RSS_CAP_BYTES,
+        "peak_rss_bytes": int(proof["rss_bytes"]),
+        "spill_bytes": int(proof["spill_bytes"]),
+        "unique_keys": int(proof["unique"]),
+    }
+    (_REPO_ROOT / "BENCH_extmem.json").write_text(
+        json.dumps([record], indent=2) + "\n")
+    table(f"BENCH_extmem.json (scale {SMOKE_SCALE})",
+          ["engine", "keys/s"],
+          [["naive heapq", f"{record['naive_keys_per_second']:,}"],
+           ["streaming", f"{record['streaming_keys_per_second']:,}"]])
+    assert record["streaming_keys_per_second"] > 0

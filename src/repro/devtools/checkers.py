@@ -17,6 +17,9 @@ block-streaming     RPL505+  producers feed writers whole blocks, never
 kernel-vectorization RPL510  sampling kernels stay whole-batch numpy:
                              no per-edge Python loops outside the
                              reference engine
+merge-streaming     RPL520   external-merge streams stay streamed in
+                             the producer layers: no whole-set
+                             collection of ``iter_unique_keys`` & co
 telemetry           RPL507+  pipeline timing goes through
                              ``repro.telemetry``; only the CLI prints
 mutable-defaults    RPL601   no mutable default arguments
@@ -36,6 +39,7 @@ __all__ = [
     "ExceptionHygieneChecker",
     "ApiCompletenessChecker",
     "BlockStreamingChecker",
+    "MergeStreamingChecker",
     "KernelVectorizationChecker",
     "TelemetryChecker",
     "MutableDefaultsChecker",
@@ -566,6 +570,97 @@ class BlockStreamingChecker(Checker):
                 if chain and chain[-1] == "iter_adjacency":
                     return True
         return False
+
+
+@register_checker
+class MergeStreamingChecker(Checker):
+    """External-merge streams must stay streamed in the producer layers.
+
+    The bounded-RAM engine (:mod:`repro.util.external_sort`) yields the
+    deduplicated key set as ascending chunks precisely so consumers
+    never hold it whole; ``np.concatenate(list(merge_sorted_runs(...)))``
+    — the pattern the engine replaced — silently reinstates O(|E|)
+    memory and defeats the disk-based models' reason to exist.  Flagged
+    in ``merge_stream_module_prefixes`` (``repro.models``,
+    ``repro.dist``); the sanctioned terminal for APIs that genuinely
+    need the whole array is
+    :func:`repro.util.external_sort.collect_chunks`, and
+    ``external_sort_unique`` (which collects by construction) is
+    off-limits in those layers too.
+    """
+
+    name = "merge-streaming"
+    codes = {
+        "RPL520": "unbounded merge materialization",
+    }
+
+    _COLLECTORS = {"list", "tuple", "sorted"}
+    _NUMPY_CONCATS = {"concatenate", "hstack", "vstack", "array"}
+
+    def _in_scope(self) -> bool:
+        return any(self.source.module == prefix
+                   or self.source.module.startswith(prefix + ".")
+                   for prefix in self.config.merge_stream_module_prefixes)
+
+    def _is_stream_call(self, node: ast.AST) -> bool:
+        """``merge_sorted_runs(...)`` / ``store.iter_unique(...)`` etc."""
+        if not isinstance(node, ast.Call):
+            return False
+        chain = _attr_chain(node.func)
+        return (chain is not None
+                and chain[-1] in self.config.merge_stream_producer_names)
+
+    def _materializes_stream(self, node: ast.AST) -> bool:
+        """Does this expression hand a merge stream over whole?
+
+        Covers the stream call itself, one ``list()``/``tuple()``
+        wrapper, starred unpacking, and list/generator displays whose
+        iterable is a stream call — the shapes
+        ``np.concatenate(list(...))`` appears in.
+        """
+        if self._is_stream_call(node):
+            return True
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain and chain[-1] in self._COLLECTORS:
+                return any(self._materializes_stream(arg)
+                           for arg in node.args)
+        if isinstance(node, ast.Starred):
+            return self._materializes_stream(node.value)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return any(self._materializes_stream(el) for el in node.elts)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return any(self._materializes_stream(gen.iter)
+                       for gen in node.generators)
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._in_scope():
+            chain = _attr_chain(node.func)
+            name = chain[-1] if chain else None
+            if name == "external_sort_unique":
+                self.flag(node, "RPL520",
+                          "external_sort_unique() materializes the whole "
+                          "merged edge set; stream iter_unique_keys() "
+                          "(or route an unavoidable whole-array need "
+                          "through collect_chunks)")
+            elif (name in self._COLLECTORS
+                    and any(self._is_stream_call(arg)
+                            for arg in node.args)):
+                self.flag(node, "RPL520",
+                          f"`{name}(...)` collects a streaming merge "
+                          "whole; consume the chunks incrementally or "
+                          "use collect_chunks")
+            elif (chain and chain[0] in _NUMPY_ALIASES
+                    and name in self._NUMPY_CONCATS
+                    and any(self._materializes_stream(arg)
+                            for arg in node.args)):
+                self.flag(node, "RPL520",
+                          f"`{'.'.join(chain)}(...)` over a streaming "
+                          "merge holds the whole deduplicated set in "
+                          "memory; stream the chunks or use "
+                          "collect_chunks")
+        self.generic_visit(node)
 
 
 @register_checker

@@ -63,6 +63,8 @@ RELAXED_CODES = frozenset({
     "RPL301",                                # exact-value asserts
     "RPL501", "RPL502", "RPL503", "RPL504",  # no __all__ contract
     "RPL508",                                # print() in harness output
+    "RPL520",                                # tests/benches materialize
+                                             # merge streams to compare
 })
 
 
@@ -249,6 +251,18 @@ class LintConfig:
     #: per-vertex ``writer.add(...)`` loops or pair-stream ``write``.
     block_streaming_module_prefixes: tuple[str, ...] = (
         "repro.system", "repro.dist")
+    #: Module prefixes where a streaming merge must stay streamed:
+    #: collecting the whole deduplicated key stream into one list/array
+    #: re-creates the unbounded ``np.concatenate(list(...))`` pattern
+    #: the external-memory engine removed (RPL520).
+    merge_stream_module_prefixes: tuple[str, ...] = (
+        "repro.models", "repro.dist")
+    #: Call names that produce a bounded streaming merge (chunk
+    #: iterators); feeding one to ``list``/``tuple``/``sorted`` or a
+    #: numpy concatenation materializes the whole merged set.
+    merge_stream_producer_names: frozenset[str] = frozenset(
+        {"merge_sorted_runs", "iter_unique_keys", "iter_unique",
+         "iter_unique_key_chunks"})
     #: Module prefixes holding the batched sampling kernel, where a
     #: Python ``for`` loop over a per-edge array would reinsert the
     #: O(|E|) interpreter loop the vectorized backends exist to remove.

@@ -33,6 +33,10 @@ from ..core.generator import RecursiveVectorGenerator
 from ..errors import ConfigurationError, FormatError
 from ..formats import get_format
 from ..telemetry import get_logger, registry, span
+# The fsync protocol lives with the spill layer (repro.util.spill) so
+# checkpoint manifests and spill runs share one durability
+# implementation; re-exported here for compatibility.
+from ..util.spill import fsync_dir, fsync_file
 
 _log = get_logger("dist.checkpoint")
 
@@ -40,33 +44,6 @@ __all__ = ["CheckpointedRun", "CheckpointState",
            "fsync_file", "fsync_dir"]
 
 _MANIFEST = "manifest.json"
-
-
-def fsync_file(path: Path | str) -> None:
-    """Flush ``path``'s data to stable storage."""
-    fd = os.open(str(path), os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
-
-
-def fsync_dir(path: Path | str) -> None:
-    """Flush a directory entry (after a rename) to stable storage.
-
-    Best-effort: some platforms/filesystems refuse to fsync a directory
-    handle; a rename there is as durable as it gets.
-    """
-    try:
-        fd = os.open(str(path), os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
 
 
 @dataclass

@@ -22,18 +22,23 @@ validate each other.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable
 
 import numpy as np
 
 from ..core.rng import stream
 from ..core.seed import SeedMatrix
 from ..telemetry import span
-from ..formats import block_from_edges, get_format
+from ..formats import blocks_from_sorted_keys, get_format
 from ..models.rmat import rmat_edge_batch
-from ..util.external_sort import external_sort_unique, write_run
+from ..util.external_sort import (DEFAULT_CHUNK_ITEMS, DEFAULT_FAN_IN,
+                                  iter_unique_keys, write_run)
 from ..util.shuffle import hash_partition
+from ..util.spill import fsync_dir
 from .faults import FaultPlan, RetryPolicy, pick_start_method, run_tasks
 
 __all__ = ["WespDistributedResult", "run_wesp_distributed"]
@@ -77,28 +82,81 @@ def _map_task(args: tuple) -> list[str]:
     return paths
 
 
+def _write_npy_stream(chunks: Iterable[np.ndarray], path: Path,
+                      num_vertices: int) -> int:
+    """Stream sorted key chunks into a ``.npy`` ``(m, 2)`` edge array.
+
+    ``np.save`` needs the row count up front, so the unpacked edge rows
+    stream into a payload temporary first; once the count is known the
+    header plus payload are assembled into a second temporary and
+    renamed into place (flush + fsync + atomic rename, the spill-layer
+    protocol), copying in bounded chunks.  Peak memory stays one chunk.
+    Returns the number of edges written.
+    """
+    n = np.int64(num_vertices)
+    payload = path.with_name(f"{path.name}.payload.{os.getpid()}")
+    tmp = path.with_name(f"{path.name}.partial.{os.getpid()}")
+    count = 0
+    try:
+        with open(payload, "wb") as body:
+            for keys in chunks:
+                edges = np.ascontiguousarray(
+                    np.column_stack([keys // n, keys % n]))
+                body.write(memoryview(edges))
+                count += int(keys.size)
+            body.flush()
+        with open(tmp, "wb") as out:
+            np.lib.format.write_array_header_1_0(
+                out, {"descr": "<i8", "fortran_order": False,
+                      "shape": (count, 2)})
+            with open(payload, "rb") as body:
+                shutil.copyfileobj(body, out, 1 << 20)
+            out.flush()
+            os.fsync(out.fileno())
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
+        payload.unlink(missing_ok=True)
+    fsync_dir(path.parent)
+    return count
+
+
 def _reduce_task(args: tuple) -> tuple[str, int]:
     """Merger process: external-merge this reducer's runs into a part.
 
-    With ``fmt_name`` set, the part is written through the block-streaming
-    format path (the sorted unique keys are already grouped by source, so
-    they form one :class:`~repro.core.generator.AdjacencyBlock`); with
-    ``None`` the historical ``.npy`` edge-array part is produced.
+    The merge is the bounded-RAM streaming engine
+    (:func:`repro.util.external_sort.iter_unique_keys`): at most
+    ``fan_in`` runs are open at once, intermediate merge passes land in
+    a per-reducer spill directory, and — because that directory and its
+    resume manifest persist under ``work_dir`` — a reducer retried by
+    the fault-tolerant scheduler (or a whole re-run after SIGKILL)
+    adopts the passes its predecessor completed instead of redoing them.
+
+    With ``fmt_name`` set the stream feeds the block-streaming format
+    writers directly (sources never split across blocks); with ``None``
+    the historical ``.npy`` edge-array part is streamed via
+    :func:`_write_npy_stream`.  Either way the reducer never holds the
+    merged edge set.
     """
-    (reducer, run_paths, out_dir, scale, fmt_name) = args
-    unique = external_sort_unique([Path(p) for p in run_paths])
-    num_vertices = np.int64(1 << scale)
-    edges = np.column_stack([unique // num_vertices,
-                             unique % num_vertices])
+    (reducer, run_paths, out_dir, scale, fmt_name, fan_in,
+     chunk_items) = args
+    num_vertices = 1 << scale
+    spill_dir = Path(out_dir) / "spill" / f"red{reducer:03d}"
+    stream_chunks = iter_unique_keys(
+        [Path(p) for p in run_paths], chunk_items=chunk_items,
+        fan_in=fan_in, spill_dir=spill_dir, resume=True)
     if fmt_name is None:
         part_path = Path(out_dir) / f"part-{reducer:04d}.npy"
-        np.save(part_path, edges)
+        count = _write_npy_stream(stream_chunks, part_path, num_vertices)
     else:
         fmt = get_format(fmt_name)
         part_path = Path(out_dir) / f"part-{reducer:04d}.{fmt_name}"
-        fmt.write_blocks(part_path, [block_from_edges(edges)],
-                         int(num_vertices))
-    return str(part_path), int(edges.shape[0])
+        result = fmt.write_blocks(
+            part_path, blocks_from_sorted_keys(stream_chunks, num_vertices),
+            num_vertices)
+        count = result.num_edges
+    shutil.rmtree(spill_dir, ignore_errors=True)
+    return str(part_path), int(count)
 
 
 def run_wesp_distributed(scale: int, edge_factor: int = 16,
@@ -109,7 +167,9 @@ def run_wesp_distributed(scale: int, edge_factor: int = 16,
                          processes: int | None = None,
                          retry: RetryPolicy | None = None,
                          faults: FaultPlan | None = None,
-                         fmt_name: str | None = None
+                         fmt_name: str | None = None,
+                         fan_in: int = DEFAULT_FAN_IN,
+                         spill_chunk: int = DEFAULT_CHUNK_ITEMS
                          ) -> WespDistributedResult:
     """Run the full WES/p dataflow across worker processes.
 
@@ -150,7 +210,8 @@ def run_wesp_distributed(scale: int, edge_factor: int = 16,
     reduce_args = []
     for reducer in range(num_workers):
         runs = [paths[reducer] for paths in map_outputs]
-        reduce_args.append((reducer, runs, str(work_dir), scale, fmt_name))
+        reduce_args.append((reducer, runs, str(work_dir), scale, fmt_name,
+                            fan_in, spill_chunk))
     with span("wesp.reduce", workers=num_workers) as sp:
         reduce_outputs, _ = run_tasks(reduce_args, _reduce_task,
                                       pool_size=pool_size, policy=retry,

@@ -13,6 +13,7 @@ __all__ = [
     "ConfigurationError",
     "SeedMatrixError",
     "FormatError",
+    "DataError",
     "OutOfMemoryError",
     "CapacityError",
     "GenerationError",
@@ -36,6 +37,18 @@ class SeedMatrixError(ConfigurationError):
 
 class FormatError(TrillionGError, ValueError):
     """A graph file is malformed or uses an unknown format name."""
+
+
+class DataError(TrillionGError, ValueError):
+    """An on-disk intermediate artifact is malformed.
+
+    Raised by the external-memory layer when a spill run fails its shape
+    invariants (e.g. a file whose size is not a whole number of int64
+    keys — the signature of a torn, non-atomic write).  Distinct from
+    :class:`FormatError`, which covers the *graph output* formats; this
+    covers the engine's own scratch files, where silently merging a torn
+    run would corrupt a resumed generation.
+    """
 
 
 class OutOfMemoryError(TrillionGError, MemoryError):

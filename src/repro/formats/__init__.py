@@ -9,8 +9,9 @@ background writer (see ``docs/formats.md``).
 from .adj6 import Adj6Format
 from .base import (GraphFormat, StreamWriter, WriteResult,
                    available_formats, block_from_edges,
-                   blocks_from_adjacency, decode_id6, encode_id6,
-                   get_format, id6_byte_view, register_format)
+                   blocks_from_adjacency, blocks_from_sorted_keys,
+                   decode_id6, encode_id6, get_format, id6_byte_view,
+                   register_format)
 from .csr6 import Csr6Format
 from .multi import write_many, write_many_blocks
 from .pipeline import (DEFAULT_PIPELINE_DEPTH, NO_PIPELINE_ENV,
@@ -23,7 +24,7 @@ __all__ = [
     "Adj6Format", "Csr6Format", "TsvFormat", "GraphFormat", "WriteResult",
     "available_formats", "get_format", "register_format", "StreamWriter",
     "write_many", "write_many_blocks",
-    "block_from_edges", "blocks_from_adjacency",
+    "block_from_edges", "blocks_from_adjacency", "blocks_from_sorted_keys",
     "encode_id6", "decode_id6", "id6_byte_view",
     "NO_PIPELINE_ENV", "PIPELINE_DEPTH_ENV", "DEFAULT_PIPELINE_DEPTH",
     "WriteSink", "DirectSink", "ThreadedSink", "open_sink",

@@ -32,7 +32,7 @@ from .pipeline import WriteSink
 __all__ = ["WriteResult", "GraphFormat", "StreamWriter", "register_format",
            "get_format", "available_formats", "SIX_BYTES", "encode_id6",
            "decode_id6", "id6_byte_view", "blocks_from_adjacency",
-           "block_from_edges"]
+           "block_from_edges", "blocks_from_sorted_keys"]
 
 #: Width of a vertex ID in the binary formats.  6 bytes covers 2^48
 #: vertices — the paper's minimum for trillion-scale graphs.
@@ -254,6 +254,40 @@ def block_from_edges(sorted_edges: np.ndarray) -> AdjacencyBlock:
     return AdjacencyBlock(sources_all[starts].copy(),
                           offsets.astype(np.int64),
                           np.ascontiguousarray(sorted_edges[:, 1]))
+
+
+def blocks_from_sorted_keys(chunks: Iterable[np.ndarray],
+                            num_vertices: int
+                            ) -> Iterator[AdjacencyBlock]:
+    """Regroup a sorted packed-key stream into :class:`AdjacencyBlock`s.
+
+    ``chunks`` is an ascending stream of packed int64 edge keys
+    (``u * |V| + v``) — e.g. the bounded-RAM merge
+    :func:`repro.util.external_sort.iter_unique_keys` — and the blocks
+    come out byte-identical to a single whole-array
+    :func:`block_from_edges` pass: a chunk boundary falling inside one
+    source's neighbour list would split that source across two blocks
+    (and, for per-source formats like ADJ6, change the output bytes), so
+    the trailing partial source group of every chunk is held back and
+    prepended to the next.  Peak memory is one chunk plus one source's
+    neighbours.
+    """
+    n = np.int64(num_vertices)
+    held = np.empty(0, dtype=np.int64)
+    for chunk in chunks:
+        chunk = np.asarray(chunk, dtype=np.int64)
+        if chunk.size == 0:
+            continue
+        current = np.concatenate([held, chunk]) if held.size else chunk
+        last_source = current[-1] // n
+        cut = int(np.searchsorted(current, last_source * n, side="left"))
+        if cut:
+            ready = current[:cut]
+            yield block_from_edges(
+                np.column_stack([ready // n, ready % n]))
+        held = current[cut:]
+    if held.size:
+        yield block_from_edges(np.column_stack([held // n, held % n]))
 
 
 def blocks_from_adjacency(adjacency: Iterable[tuple[int, np.ndarray]],

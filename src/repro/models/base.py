@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -21,8 +22,15 @@ from ..core.rng import stream
 from ..core.seed import GRAPH500, SeedMatrix
 from ..errors import ConfigurationError, OutOfMemoryError
 
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from ..core.generator import AdjacencyBlock
+    from ..formats.base import WriteResult
+
 __all__ = ["Complexity", "GenerationReport", "ScopeBasedGenerator",
-           "dedup_edges", "BYTES_PER_EDGE_IN_MEMORY"]
+           "StreamingDedupMixin", "dedup_edges",
+           "BYTES_PER_EDGE_IN_MEMORY"]
 
 #: Working-set bytes per edge for in-memory duplicate elimination: an 8-byte
 #: packed key plus hash-set overhead (the constant used for O.O.M checks).
@@ -178,6 +186,51 @@ class ScopeBasedGenerator(ABC):
         """Inverse of :meth:`pack_edges` (rows come out source-sorted)."""
         n = np.int64(self.num_vertices)
         return np.column_stack([keys // n, keys % n])
+
+
+class StreamingDedupMixin(ScopeBasedGenerator):
+    """Streaming surface of the disk-based (external-sort) generators.
+
+    Subclasses implement :meth:`iter_unique_key_chunks` — the bounded-RAM
+    generate -> spill -> merge pipeline yielding ascending duplicate-free
+    packed-key chunks — and inherit the three consumer shapes:
+
+    - :meth:`iter_blocks` regroups the stream into
+      :class:`~repro.core.generator.AdjacencyBlock`s (sources never split
+      across blocks, so the output is byte-identical to a whole-array
+      pass);
+    - :meth:`write_to` feeds those blocks straight into a format's
+      block-streaming writer — generation to disk without ever holding
+      the edge set;
+    - :meth:`generate` keeps the historical whole-array contract by
+      routing the stream through the engine's explicit terminal
+      (:func:`repro.util.external_sort.collect_chunks`).
+    """
+
+    @abstractmethod
+    def iter_unique_key_chunks(self) -> Iterator[np.ndarray]:
+        """Yield the deduplicated edge keys as ascending int64 chunks."""
+
+    def iter_blocks(self) -> Iterator[AdjacencyBlock]:
+        from ..formats import blocks_from_sorted_keys
+        return blocks_from_sorted_keys(self.iter_unique_key_chunks(),
+                                       self.num_vertices)
+
+    def write_to(self, path: Path | str, fmt: str = "adj6") -> WriteResult:
+        """Stream the graph into ``path`` with bounded memory.
+
+        Returns the format's :class:`~repro.formats.WriteResult`.
+        """
+        from ..formats import get_format
+        result = get_format(fmt).write_blocks(path, self.iter_blocks(),
+                                              self.num_vertices)
+        self.report.bytes_written = result.bytes_written
+        return result
+
+    def generate(self) -> np.ndarray:
+        from ..util.external_sort import collect_chunks
+        keys = collect_chunks(self.iter_unique_key_chunks())
+        return self.unpack_edges(keys)
 
 
 def dedup_edges(edges: np.ndarray, num_vertices: int

@@ -16,14 +16,15 @@ Two variants are provided, matching Figure 11(a)'s bars:
 from __future__ import annotations
 
 import tempfile
-from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
-from ..util.external_sort import external_sort_unique
 from ..errors import GenerationError
+from ..util.external_sort import DEFAULT_FAN_IN
+from ..util.spill import SpillStore
 from .base import (BYTES_PER_EDGE_IN_MEMORY, Complexity, ScopeBasedGenerator,
-                   dedup_edges)
+                   StreamingDedupMixin, dedup_edges)
 
 __all__ = ["rmat_edge_batch", "RmatMemGenerator", "RmatDiskGenerator"]
 
@@ -85,12 +86,15 @@ class RmatMemGenerator(ScopeBasedGenerator):
         return self.unpack_edges(keys)
 
 
-class RmatDiskGenerator(ScopeBasedGenerator):
+class RmatDiskGenerator(StreamingDedupMixin):
     """RMAT with external-sort duplicate elimination (WES, disk-based).
 
     Generates ``|E| * (1 + epsilon)`` candidate edges in bounded-memory
-    batches, spills sorted runs to disk, and k-way merges them while
-    dropping duplicates.  Peak memory is one batch, not the edge set.
+    batches, spills sorted runs to disk (atomically, see
+    :mod:`repro.util.spill`), and streams the multi-pass bounded-fan-in
+    merge with duplicates dropped.  Peak memory is
+    ``O(fan_in * spill_chunk)`` keys end to end — never the edge set —
+    so :meth:`write_to` can produce graphs larger than RAM.
     """
 
     name = "RMAT-disk"
@@ -98,37 +102,41 @@ class RmatDiskGenerator(ScopeBasedGenerator):
 
     def __init__(self, *args, batch_edges: int = 1 << 18,
                  epsilon: float = 0.01, spill_dir: str | None = None,
-                 **kwargs) -> None:
+                 fan_in: int = DEFAULT_FAN_IN,
+                 spill_chunk: int | None = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.batch_edges = batch_edges
         self.epsilon = epsilon
         self.spill_dir = spill_dir
+        self.fan_in = fan_in
+        #: Keys per merge-read chunk; defaults to one generation batch.
+        self.spill_chunk = spill_chunk
 
     def estimated_peak_bytes(self) -> int:
         return self.batch_edges * BYTES_PER_EDGE_IN_MEMORY
 
-    def generate(self) -> np.ndarray:
+    def iter_unique_key_chunks(self) -> Iterator[np.ndarray]:
         self.check_memory_budget()
         rng = self.rng(_TAG_EDGES)
         report = self.report
         target = int(self.num_edges * (1 + self.epsilon))
+        chunk_items = self.spill_chunk or self.batch_edges
         with tempfile.TemporaryDirectory(dir=self.spill_dir) as tmp:
-            run_paths: list[Path] = []
+            store = SpillStore(tmp)
             produced = 0
             with report.time_phase("generate"):
                 while produced < target:
                     count = min(self.batch_edges, target - produced)
                     batch = rmat_edge_batch(self.seed_matrix, self.scale,
                                             count, rng)
-                    keys = np.sort(self.pack_edges(batch))
-                    path = Path(tmp) / f"run-{len(run_paths):06d}.npy"
-                    keys.astype(np.int64).tofile(path)
-                    run_paths.append(path)
+                    store.add_run(np.sort(self.pack_edges(batch)))
                     produced += count
+            emitted = 0
             with report.time_phase("external_sort"):
-                unique = external_sort_unique(run_paths,
-                                              chunk_items=self.batch_edges)
-        report.duplicates_discarded = produced - unique.size
-        report.realized_edges = unique.size
+                for chunk in store.iter_unique(chunk_items=chunk_items,
+                                               fan_in=self.fan_in):
+                    emitted += int(chunk.size)
+                    yield chunk
+        report.duplicates_discarded = produced - emitted
+        report.realized_edges = emitted
         report.peak_memory_bytes = self.estimated_peak_bytes()
-        return self.unpack_edges(unique)

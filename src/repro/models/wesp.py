@@ -19,13 +19,15 @@ same dataflow across real processes.
 from __future__ import annotations
 
 import tempfile
-from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
-from ..util.external_sort import external_sort_unique, write_run
+from ..util.external_sort import DEFAULT_FAN_IN
 from ..util.shuffle import hash_partition
-from .base import (BYTES_PER_EDGE_IN_MEMORY, Complexity, ScopeBasedGenerator)
+from ..util.spill import SpillStore
+from .base import (BYTES_PER_EDGE_IN_MEMORY, Complexity, ScopeBasedGenerator,
+                   StreamingDedupMixin)
 from .rmat import rmat_edge_batch
 
 __all__ = ["WespMemGenerator", "WespDiskGenerator"]
@@ -127,45 +129,57 @@ class WespMemGenerator(_WespBase):
         return self.unpack_edges(keys)
 
 
-class WespDiskGenerator(_WespBase):
-    """WES/p with external-sort merge (the paper's RMAT/p-disk)."""
+class WespDiskGenerator(StreamingDedupMixin, _WespBase):
+    """WES/p with external-sort merge (the paper's RMAT/p-disk).
+
+    Every partition's batches are spilled as sorted runs and *one*
+    global bounded-fan-in merge streams the deduplicated union — the
+    sorted union over all partitions equals the sorted union over all
+    local sets, so the output is identical to
+    :class:`WespMemGenerator` while peak merge memory stays at
+    ``O(fan_in * spill_chunk)`` keys.
+    """
 
     name = "RMAT/p-disk"
     complexity = Complexity(
         "O(|E| log|V| / P) + T_shuffle + sort(|E|/P)", "O(batch)", "WES/p")
 
     def __init__(self, *args, batch_edges: int = 1 << 18,
-                 spill_dir: str | None = None, **kwargs) -> None:
+                 spill_dir: str | None = None,
+                 fan_in: int = DEFAULT_FAN_IN,
+                 spill_chunk: int | None = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.batch_edges = batch_edges
         self.spill_dir = spill_dir
+        self.fan_in = fan_in
+        #: Keys per merge-read chunk; defaults to one spill batch.
+        self.spill_chunk = spill_chunk
 
     def estimated_peak_bytes(self) -> int:
         return self.batch_edges * BYTES_PER_EDGE_IN_MEMORY
 
-    def generate(self) -> np.ndarray:
+    def iter_unique_key_chunks(self) -> Iterator[np.ndarray]:
         self.check_memory_budget()
         report = self.report
+        chunk_items = self.spill_chunk or self.batch_edges
         with report.time_phase("generate"):
             local_sets = self._generate_local_sets()
         with report.time_phase("shuffle"):
             partitions = self._shuffle(local_sets)
+        del local_sets
+        before = sum(int(p.size) for p in partitions)
+        emitted = 0
         with tempfile.TemporaryDirectory(dir=self.spill_dir) as tmp:
             with report.time_phase("merge"):
-                outputs = []
-                for w, part in enumerate(partitions):
-                    runs = []
+                store = SpillStore(tmp)
+                for part in partitions:
                     for j in range(0, part.size, self.batch_edges):
-                        run = np.sort(part[j:j + self.batch_edges])
-                        path = Path(tmp) / f"w{w}-run{j}.bin"
-                        runs.append(write_run(run, path))
-                    before = part.size
-                    unique = external_sort_unique(
-                        runs, chunk_items=self.batch_edges)
-                    report.duplicates_discarded += before - unique.size
-                    outputs.append(unique)
-        keys = np.sort(np.concatenate(outputs)) if outputs \
-            else np.empty(0, dtype=np.int64)
-        report.realized_edges = keys.size
+                        store.add_run(np.sort(part[j:j + self.batch_edges]))
+                del partitions
+                for chunk in store.iter_unique(chunk_items=chunk_items,
+                                               fan_in=self.fan_in):
+                    emitted += int(chunk.size)
+                    yield chunk
+        report.duplicates_discarded += before - emitted
+        report.realized_edges = emitted
         report.peak_memory_bytes = self.estimated_peak_bytes()
-        return self.unpack_edges(keys)

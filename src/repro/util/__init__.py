@@ -8,10 +8,17 @@ the hash shuffle, which the WES baselines (``models``) and the
 distributed runners (``dist``) share.
 """
 
-from .external_sort import external_sort_unique, merge_sorted_runs, write_run
-from .shuffle import hash_partition, mix64, partition_sizes
+from .external_sort import (DEFAULT_CHUNK_ITEMS, DEFAULT_FAN_IN, MergePlan,
+                            collect_chunks, external_sort_unique,
+                            iter_unique_keys, merge_sorted_runs, write_run)
+from .shuffle import (hash_partition, mix64, partition_sizes,
+                      partition_slices)
+from .spill import SpillStore, fsync_dir, fsync_file, write_run_chunks
 
 __all__ = [
-    "external_sort_unique", "merge_sorted_runs", "write_run",
-    "hash_partition", "mix64", "partition_sizes",
+    "DEFAULT_CHUNK_ITEMS", "DEFAULT_FAN_IN", "MergePlan",
+    "collect_chunks", "external_sort_unique", "iter_unique_keys",
+    "merge_sorted_runs", "write_run", "write_run_chunks",
+    "SpillStore", "fsync_file", "fsync_dir",
+    "hash_partition", "mix64", "partition_sizes", "partition_slices",
 ]

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["mix64", "hash_partition", "partition_sizes"]
+__all__ = ["mix64", "hash_partition", "partition_slices",
+           "partition_sizes"]
 
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 
@@ -29,15 +30,41 @@ def mix64(keys: np.ndarray) -> np.ndarray:
     return z
 
 
-def hash_partition(keys: np.ndarray, num_workers: int) -> list[np.ndarray]:
-    """Split ``keys`` into ``num_workers`` hash partitions."""
+def partition_slices(keys: np.ndarray,
+                     num_workers: int) -> tuple[np.ndarray, np.ndarray]:
+    """Single-pass hash partition as ``(grouped_keys, offsets)``.
+
+    ``grouped_keys`` holds every key reordered so worker ``w``'s
+    partition is the contiguous slice
+    ``grouped_keys[offsets[w]:offsets[w + 1]]`` — one stable argsort of
+    the worker assignment plus one bincount, instead of ``num_workers``
+    full boolean-mask passes over the key array.  Within each partition
+    the original key order is preserved (the sort is stable), so
+    consumers observe exactly the per-worker sequences the masked
+    implementation produced.  ``offsets`` has ``num_workers + 1``
+    entries; slicing it is zero-copy (numpy views).
+    """
     if num_workers < 1:
         raise ValueError("num_workers must be >= 1")
+    keys = np.asarray(keys, dtype=np.int64)
     if num_workers == 1:
-        return [np.asarray(keys, dtype=np.int64)]
-    worker = (mix64(np.asarray(keys))
-              % np.uint64(num_workers)).astype(np.int64)
-    return [np.asarray(keys, dtype=np.int64)[worker == w]
+        return keys, np.array([0, keys.size], dtype=np.int64)
+    worker = (mix64(keys) % np.uint64(num_workers)).astype(np.int64)
+    order = np.argsort(worker, kind="stable")
+    counts = np.bincount(worker, minlength=num_workers)
+    offsets = np.zeros(num_workers + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return keys[order], offsets
+
+
+def hash_partition(keys: np.ndarray, num_workers: int) -> list[np.ndarray]:
+    """Split ``keys`` into ``num_workers`` hash partitions.
+
+    A thin list view over :func:`partition_slices`: the returned arrays
+    are zero-copy slices of one grouped buffer.
+    """
+    grouped, offsets = partition_slices(keys, num_workers)
+    return [grouped[offsets[w]:offsets[w + 1]]
             for w in range(num_workers)]
 
 

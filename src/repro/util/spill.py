@@ -1,0 +1,170 @@
+"""Atomic spill-run persistence for the external-memory merge engine.
+
+The engine in :mod:`repro.util.external_sort` works over *runs*: flat
+little-endian int64 files of sorted packed edge keys (``u * |V| + v``).
+This module owns their durability discipline:
+
+- every run becomes visible under its final name only via an atomic
+  rename of a fully-written, flushed, fsynced ``*.partial`` temporary —
+  a crash can never leave a torn run that a resumed merge would consume
+  silently (the reader additionally rejects size-not-multiple-of-8
+  files with :class:`~repro.errors.DataError`);
+- :class:`SpillStore` names and tracks the runs of one producer and
+  hands the whole set to the streaming merge
+  (:func:`~repro.util.external_sort.iter_unique_keys`) in one call;
+- every spill is counted in the ``extsort.*`` telemetry family
+  (``docs/observability.md``) and, under ``TRILLIONG_SANITIZE=1``,
+  recorded on the sanitizer write ledger in submission order — which is
+  disk order, exactly the discipline of the format write pipeline.
+
+``fsync_file`` / ``fsync_dir`` live here (the bottom layer) so both the
+spill path and the checkpoint manifests in :mod:`repro.dist.checkpoint`
+share one implementation.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..sanitize import record_write, sanitize_enabled
+from ..telemetry import registry
+
+__all__ = ["fsync_file", "fsync_dir", "write_run", "write_run_chunks",
+           "SpillStore"]
+
+
+def fsync_file(path: Path | str) -> None:
+    """Flush ``path``'s data to stable storage."""
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: Path | str) -> None:
+    """Flush a directory entry (after a rename) to stable storage.
+
+    Best-effort: some platforms/filesystems refuse to fsync a directory
+    handle; a rename there is as durable as it gets.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class _RunLabel:
+    """Stand-in passed to the sanitizer so a spill is recorded under its
+    *final* name: the ``.partial.<pid>`` temporary the bytes physically
+    go through embeds the pid and would make traces non-comparable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+def write_run_chunks(chunks: Iterable[np.ndarray], path: Path | str
+                     ) -> tuple[Path, int]:
+    """Stream int64 key chunks into one run file atomically.
+
+    Writes to ``<path>.partial.<pid>``, flushes, fsyncs, then renames
+    into place (and fsyncs the directory entry), so ``path`` either does
+    not exist or holds a complete run.  Returns ``(path, items)``.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.partial.{os.getpid()}")
+    items = 0
+    trace = sanitize_enabled()
+    label = _RunLabel(path.name)
+    try:
+        with open(tmp, "wb") as handle:
+            for chunk in chunks:
+                arr = np.ascontiguousarray(np.asarray(chunk,
+                                                      dtype=np.int64))
+                if arr.size == 0:
+                    continue
+                if trace:
+                    record_write(label, arr)
+                handle.write(memoryview(arr))
+                items += int(arr.size)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    fsync_dir(path.parent)
+    reg = registry()
+    reg.counter("extsort.runs_spilled").inc()
+    reg.counter("extsort.spill_bytes").inc(items * 8)
+    return path, items
+
+
+def write_run(keys: np.ndarray, path: Path | str) -> Path:
+    """Spill one sorted run of int64 keys to ``path`` atomically."""
+    run_path, _ = write_run_chunks((keys,), path)
+    return run_path
+
+
+class SpillStore:
+    """A directory of sorted spill runs plus their streaming merge.
+
+    Producers (the disk-based generators, the distributed reducers) call
+    :meth:`add_run` once per sorted in-memory batch, then consume
+    :meth:`iter_unique` — the bounded-RAM multi-pass merge over
+    everything spilled, with intermediate merge passes written under
+    ``<directory>/merge``.
+    """
+
+    def __init__(self, directory: Path | str, *, prefix: str = "run"
+                 ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._prefix = prefix
+        self._runs: list[Path] = []
+
+    @property
+    def runs(self) -> tuple[Path, ...]:
+        """The spilled run paths, in spill order."""
+        return tuple(self._runs)
+
+    @property
+    def num_runs(self) -> int:
+        return len(self._runs)
+
+    def add_run(self, keys: np.ndarray) -> Path:
+        """Spill one sorted key batch as the next run."""
+        path = self.directory / f"{self._prefix}-{len(self._runs):06d}.run"
+        write_run(keys, path)
+        self._runs.append(path)
+        return path
+
+    def iter_unique(self, *, chunk_items: int | None = None,
+                    fan_in: int | None = None, prefetch: bool = True,
+                    resume: bool = False) -> Iterator[np.ndarray]:
+        """Stream the sorted, duplicate-free union of every run.
+
+        Peak memory is ``O(fan_in * chunk_items)`` keys regardless of
+        the total spilled volume; see
+        :func:`repro.util.external_sort.iter_unique_keys`.
+        """
+        from .external_sort import (DEFAULT_CHUNK_ITEMS, DEFAULT_FAN_IN,
+                                    iter_unique_keys)
+        return iter_unique_keys(
+            self._runs,
+            chunk_items=(DEFAULT_CHUNK_ITEMS if chunk_items is None
+                         else chunk_items),
+            fan_in=DEFAULT_FAN_IN if fan_in is None else fan_in,
+            spill_dir=self.directory / "merge",
+            prefetch=prefetch, resume=resume)

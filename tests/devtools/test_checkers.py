@@ -560,3 +560,83 @@ def test_kernel_vectorization_pragma_suppression(tmp_path):
             "        g(r)\n")
     assert run(tmp_path, "kernel-vectorization", code,
                module="repro.core.generator") == []
+
+
+# ---------------------------------------------------------------------------
+# merge-streaming (RPL520)
+# ---------------------------------------------------------------------------
+
+MERGE_FLAG = [
+    "import numpy as np\n"
+    "keys = np.concatenate(list(merge_sorted_runs(paths)))\n",
+    "import numpy as np\n"
+    "keys = np.concatenate(list(iter_unique_keys(paths)))\n",
+    "chunks = list(store.iter_unique())\n",
+    "chunks = sorted(merge_sorted_runs(paths))\n",
+    "pair = tuple(self.iter_unique_key_chunks())\n",
+    "out = external_sort_unique(paths)\n",
+    "from repro.dist import external_sort_unique\n"
+    "out = external_sort_unique(paths, fan_in=4)\n",
+    "import numpy as np\n"
+    "arr = np.hstack(tuple(store.iter_unique()))\n",
+    "import numpy as np\n"
+    "arr = np.concatenate([c for c in iter_unique_keys(paths)])\n",
+    "import numpy as np\n"
+    "arr = np.concatenate([*iter_unique_keys(paths)])\n",
+    "import numpy\n"
+    "arr = numpy.vstack(list(merge_sorted_runs(paths)))\n",
+]
+
+MERGE_PASS = [
+    # Streaming consumption is the point of the engine.
+    "for chunk in iter_unique_keys(paths):\n"
+    "    consume(chunk)\n",
+    # The sanctioned explicit terminal.
+    "keys = collect_chunks(iter_unique_keys(paths))\n",
+    # Reductions don't hold the stream whole.
+    "total = sum(int(c.size) for c in store.iter_unique())\n",
+    # Concatenating plain arrays is fine.
+    "import numpy as np\n"
+    "keys = np.concatenate(parts)\n",
+    # list() over something that is not a merge stream.
+    "names = list(paths)\n",
+]
+
+
+@pytest.mark.parametrize("code", MERGE_FLAG)
+def test_merge_streaming_flags_materialization(tmp_path, code):
+    for module in ("repro.models.snippet", "repro.dist.snippet"):
+        found = run(tmp_path, "merge-streaming", code, module=module)
+        assert codes(found) == ["RPL520"], (module, found)
+
+
+@pytest.mark.parametrize("code", MERGE_PASS)
+def test_merge_streaming_passes_streaming_consumers(tmp_path, code):
+    assert run(tmp_path, "merge-streaming", code,
+               module="repro.models.snippet") == []
+
+
+@pytest.mark.parametrize("code", MERGE_FLAG)
+def test_merge_streaming_ignores_engine_and_test_layers(tmp_path, code):
+    # The engine itself (repro.util) and out-of-scope layers may
+    # materialize: external_sort_unique *is* collect_chunks there.
+    for module in ("repro.util.external_sort", "repro.analysis.foo"):
+        assert run(tmp_path, "merge-streaming", code,
+                   module=module) == [], module
+
+
+def test_merge_streaming_prefixes_configurable(tmp_path):
+    config = config_with(merge_stream_module_prefixes=("mypkg.sinks",))
+    code = "out = external_sort_unique(paths)\n"
+    found = run(tmp_path, "merge-streaming", code,
+                module="mypkg.sinks.writer", config=config)
+    assert codes(found) == ["RPL520"]
+    assert run(tmp_path, "merge-streaming", code,
+               module="repro.models.snippet", config=config) == []
+
+
+def test_merge_streaming_pragma_suppression(tmp_path):
+    code = ("keys = list(merge_sorted_runs(paths))"
+            "  # reprolint: disable=RPL520\n")
+    assert run(tmp_path, "merge-streaming", code,
+               module="repro.models.snippet") == []

@@ -1,0 +1,418 @@
+"""Tests for the pipelined external-memory merge engine.
+
+Covers the bounded fan-in multi-pass merge (:class:`MergePlan` +
+:func:`iter_unique_keys`), the atomic spill protocol and torn-run
+rejection, prefetching readers with deferred errors, resume of
+completed intermediate merge passes, and a SIGKILL-mid-merge-pass
+byte-identity check.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DataError
+from repro.telemetry import registry, reset_telemetry
+from repro.util import external_sort
+from repro.util.external_sort import (MergePlan, collect_chunks,
+                                      iter_unique_keys, merge_sorted_runs,
+                                      write_run)
+from repro.util.spill import SpillStore, write_run_chunks
+
+
+def make_runs(tmp_path, arrays, prefix="run"):
+    paths = []
+    for i, arr in enumerate(arrays):
+        paths.append(write_run(np.sort(np.asarray(arr, dtype=np.int64)),
+                               tmp_path / f"{prefix}-{i:06d}.run"))
+    return paths
+
+
+def expected_unique(arrays):
+    flat = [np.asarray(a, dtype=np.int64) for a in arrays]
+    if not flat:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(flat))
+
+
+class TestMergePlan:
+    def test_nine_runs_fan_in_two(self):
+        plan = MergePlan.plan(9, 2)
+        assert plan.passes[0] == ((0, 2), (2, 4), (4, 6), (6, 8), (8, 9))
+        assert [len(g) for g in plan.passes] == [5, 3, 2]
+        assert plan.num_intermediate_passes == 3
+        assert plan.num_intermediate_runs == 10
+
+    def test_no_passes_when_runs_fit(self):
+        for n in (0, 1, 15, 16):
+            plan = MergePlan.plan(n, 16)
+            assert plan.passes == ()
+            assert plan.num_intermediate_runs == 0
+
+    def test_one_pass_just_over_fan_in(self):
+        plan = MergePlan.plan(17, 16)
+        assert plan.passes == (((0, 16), (16, 17)),)
+
+    def test_groups_cover_every_run_exactly_once(self):
+        for n, k in ((9, 2), (100, 3), (1000, 16), (17, 4)):
+            plan = MergePlan.plan(n, k)
+            level = n
+            for groups in plan.passes:
+                assert groups[0][0] == 0
+                assert groups[-1][1] == level
+                for (a, b), (c, d) in zip(groups, groups[1:]):
+                    assert b == c
+                assert all(hi - lo <= k for lo, hi in groups)
+                level = len(groups)
+            assert level <= k
+
+    def test_deterministic(self):
+        assert MergePlan.plan(40, 3) == MergePlan.plan(40, 3)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MergePlan.plan(4, 1)
+        with pytest.raises(ConfigurationError):
+            MergePlan.plan(-1, 2)
+
+
+class TestMultiPassMerge:
+    def check(self, tmp_path, arrays, *, fan_in, chunk_items,
+              prefetch=False):
+        paths = make_runs(tmp_path, arrays)
+        out = collect_chunks(iter_unique_keys(
+            paths, chunk_items=chunk_items, fan_in=fan_in,
+            prefetch=prefetch))
+        np.testing.assert_array_equal(out, expected_unique(arrays))
+
+    def test_fan_in_two_over_nine_runs(self, tmp_path):
+        rng = np.random.default_rng(3)
+        arrays = [rng.integers(0, 700, size=150) for _ in range(9)]
+        for chunk in (1, 7, 64, 4096):
+            self.check(tmp_path, arrays, fan_in=2, chunk_items=chunk)
+
+    def test_duplicates_straddle_pass_boundaries(self, tmp_path):
+        # The same keys appear in runs that land in *different* merge
+        # groups, so the duplicate only collapses at a later pass (or
+        # the final streaming merge), never inside one group.
+        arrays = [[10, 20, 30]] * 9
+        self.check(tmp_path, arrays, fan_in=2, chunk_items=2)
+
+    def test_empty_and_constant_runs(self, tmp_path):
+        arrays = [[], [5] * 40, [], [5] * 40, [1, 5, 9], [], [9] * 3,
+                  [], []]
+        self.check(tmp_path, arrays, fan_in=2, chunk_items=4)
+
+    def test_all_runs_empty(self, tmp_path):
+        paths = make_runs(tmp_path, [[]] * 7)
+        out = collect_chunks(iter_unique_keys(paths, fan_in=2,
+                                              prefetch=False))
+        assert out.size == 0
+
+    def test_prefetch_equals_direct(self, tmp_path):
+        rng = np.random.default_rng(5)
+        arrays = [rng.integers(0, 5000, size=800) for _ in range(6)]
+        paths = make_runs(tmp_path, arrays)
+        direct = collect_chunks(iter_unique_keys(
+            paths, chunk_items=97, fan_in=3, prefetch=False))
+        prefetched = collect_chunks(iter_unique_keys(
+            paths, chunk_items=97, fan_in=3, prefetch=True))
+        np.testing.assert_array_equal(direct, prefetched)
+
+    def test_spill_dir_left_for_caller(self, tmp_path):
+        arrays = [np.arange(i, i + 30) for i in range(0, 90, 10)]
+        paths = make_runs(tmp_path, arrays)
+        spill = tmp_path / "spill"
+        out = collect_chunks(iter_unique_keys(
+            paths, chunk_items=16, fan_in=2, spill_dir=spill,
+            prefetch=False))
+        np.testing.assert_array_equal(out, expected_unique(arrays))
+        assert len(list(spill.glob("merge-*.run"))) == \
+            MergePlan.plan(9, 2).num_intermediate_runs
+
+    def test_validation(self, tmp_path):
+        paths = make_runs(tmp_path, [[1], [2]])
+        with pytest.raises(ConfigurationError):
+            list(iter_unique_keys(paths, fan_in=1))
+        with pytest.raises(ConfigurationError):
+            list(iter_unique_keys(paths, chunk_items=0))
+        with pytest.raises(ConfigurationError):
+            list(iter_unique_keys(paths, resume=True))
+
+    def test_telemetry_counters(self, tmp_path):
+        reset_telemetry()
+        arrays = [np.arange(i, i + 50) for i in range(0, 270, 30)]
+        paths = make_runs(tmp_path, arrays)
+        reset_telemetry()  # drop the spill counts from make_runs
+        chunk = 16
+        out = collect_chunks(iter_unique_keys(
+            paths, chunk_items=chunk, fan_in=2, prefetch=False))
+        np.testing.assert_array_equal(out, expected_unique(arrays))
+        reg = registry()
+        plan = MergePlan.plan(9, 2)
+        assert reg.counter("extsort.merge_passes").value == \
+            plan.num_intermediate_passes
+        assert reg.counter("extsort.runs_spilled").value == \
+            plan.num_intermediate_runs
+        assert reg.counter("extsort.spill_bytes").value > 0
+        assert reg.gauge("extsort.fan_in").value == 2.0
+        peak = reg.gauge("extsort.peak_buffered_items", mode="max").value
+        assert 0 < peak <= (2 + 2) * chunk
+
+
+@settings(deadline=None, max_examples=40,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.lists(st.lists(st.integers(-2**40, 2**40), max_size=50),
+                     max_size=9),
+       fan_in=st.integers(2, 4), chunk=st.integers(1, 17))
+def test_streaming_matches_numpy_unique(tmp_path, data, fan_in, chunk):
+    work = Path(tempfile.mkdtemp(dir=tmp_path))
+    paths = make_runs(work, data)
+    out = collect_chunks(iter_unique_keys(
+        paths, chunk_items=chunk, fan_in=fan_in, prefetch=False))
+    np.testing.assert_array_equal(out, expected_unique(data))
+
+
+class TestAtomicSpill:
+    def test_producer_failure_leaves_no_files(self, tmp_path):
+        def chunks():
+            yield np.arange(5, dtype=np.int64)
+            raise OSError("producer died")
+
+        target = tmp_path / "out.run"
+        with pytest.raises(OSError):
+            write_run_chunks(chunks(), target)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_write_then_read_roundtrip(self, tmp_path):
+        keys = np.arange(1000, dtype=np.int64)
+        path, items = write_run_chunks(
+            (keys[:400], keys[400:400], keys[400:]), tmp_path / "r.run")
+        assert items == 1000
+        np.testing.assert_array_equal(
+            np.fromfile(path, dtype=np.int64), keys)
+
+    def test_torn_run_rejected(self, tmp_path):
+        torn = tmp_path / "torn.run"
+        torn.write_bytes(b"\x01" * 12)  # not a whole number of int64s
+        with pytest.raises(DataError, match="torn"):
+            external_sort._RunReader(torn, 64)
+        with pytest.raises(DataError):
+            list(iter_unique_keys([torn], prefetch=False))
+
+    def test_torn_run_rejected_with_prefetch(self, tmp_path):
+        torn = tmp_path / "torn.run"
+        torn.write_bytes(b"\x01" * 20)
+        with pytest.raises(DataError):
+            list(merge_sorted_runs([torn], prefetch=True))
+
+
+class TestPrefetchReader:
+    def test_deferred_error_surfaces_on_consumer(self, tmp_path,
+                                                 monkeypatch):
+        path = write_run(np.arange(100, dtype=np.int64),
+                         tmp_path / "r.run")
+        real = external_sort._RunReader.next_chunk
+        calls = {"n": 0}
+
+        def flaky(self):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise OSError("disk vanished mid-run")
+            return real(self)
+
+        monkeypatch.setattr(external_sort._RunReader, "next_chunk", flaky)
+        reader = external_sort._PrefetchReader(path, 10)
+        try:
+            with pytest.raises(OSError, match="disk vanished"):
+                while reader.next_chunk() is not None:
+                    pass
+        finally:
+            reader.close()
+        assert not reader._thread.is_alive()
+
+    def test_close_with_full_queue_does_not_deadlock(self, tmp_path):
+        path = write_run(np.arange(10000, dtype=np.int64),
+                         tmp_path / "r.run")
+        reader = external_sort._PrefetchReader(path, 16)
+        reader.next_chunk()  # let the pump fill its buffers
+        reader.close()       # consumer abandons the stream mid-run
+        assert not reader._thread.is_alive()
+
+    def test_yields_same_chunks_as_plain_reader(self, tmp_path):
+        keys = np.arange(5000, dtype=np.int64)
+        path = write_run(keys, tmp_path / "r.run")
+        with external_sort._PrefetchReader(path, 613) as pre:
+            got = []
+            while (chunk := pre.next_chunk()) is not None:
+                got.append(chunk)
+        np.testing.assert_array_equal(np.concatenate(got), keys)
+
+    def test_wait_time_recorded(self, tmp_path):
+        reset_telemetry()
+        path = write_run(np.arange(100, dtype=np.int64),
+                         tmp_path / "r.run")
+        with external_sort._PrefetchReader(path, 7) as pre:
+            while pre.next_chunk() is not None:
+                pass
+        watch = registry().counter("extsort.readahead_wait_seconds")
+        assert watch.value >= 0.0
+
+
+class TestResume:
+    def make_inputs(self, tmp_path, seed=11):
+        rng = np.random.default_rng(seed)
+        arrays = [rng.integers(0, 3000, size=400) for _ in range(9)]
+        return make_runs(tmp_path, arrays), expected_unique(arrays)
+
+    def merge(self, paths, spill):
+        return collect_chunks(iter_unique_keys(
+            paths, chunk_items=64, fan_in=2, spill_dir=spill,
+            resume=True, prefetch=False))
+
+    def test_second_run_reuses_every_intermediate(self, tmp_path):
+        paths, expected = self.make_inputs(tmp_path)
+        spill = tmp_path / "spill"
+        reset_telemetry()
+        np.testing.assert_array_equal(self.merge(paths, spill), expected)
+        assert registry().counter(
+            "extsort.merge_runs_resumed").value == 0
+        mtimes = {p.name: p.stat().st_mtime_ns
+                  for p in spill.glob("merge-*.run")}
+        reset_telemetry()
+        np.testing.assert_array_equal(self.merge(paths, spill), expected)
+        assert registry().counter("extsort.merge_runs_resumed").value \
+            == MergePlan.plan(9, 2).num_intermediate_runs
+        assert mtimes == {p.name: p.stat().st_mtime_ns
+                          for p in spill.glob("merge-*.run")}
+
+    def test_changed_inputs_purge_stale_intermediates(self, tmp_path):
+        paths, _ = self.make_inputs(tmp_path)
+        spill = tmp_path / "spill"
+        self.merge(paths, spill)
+        # Regenerate run 0 with different content (and size): the
+        # manifest signature no longer matches, so nothing is reused.
+        arrays = [np.arange(10)] + [np.arange(5)] * 8
+        paths = make_runs(tmp_path, arrays)
+        reset_telemetry()
+        out = self.merge(paths, spill)
+        np.testing.assert_array_equal(out, expected_unique(arrays))
+        assert registry().counter(
+            "extsort.merge_runs_resumed").value == 0
+
+    def test_unrecorded_complete_run_adopted(self, tmp_path):
+        # Simulate a crash inside the rename -> manifest window: the
+        # intermediate run landed but was never marked completed.
+        paths, expected = self.make_inputs(tmp_path)
+        spill = tmp_path / "spill"
+        self.merge(paths, spill)
+        manifest = spill / "extsort-manifest.json"
+        doc = json.loads(manifest.read_text())
+        dropped = sorted(doc["completed"])[0]
+        del doc["completed"][dropped]
+        manifest.write_text(json.dumps(doc))
+        mtime = (spill / dropped).stat().st_mtime_ns
+        reset_telemetry()
+        np.testing.assert_array_equal(self.merge(paths, spill), expected)
+        assert (spill / dropped).stat().st_mtime_ns == mtime  # adopted
+        assert registry().counter("extsort.merge_runs_resumed").value \
+            == MergePlan.plan(9, 2).num_intermediate_runs
+
+    def test_torn_unrecorded_run_remerged(self, tmp_path):
+        paths, expected = self.make_inputs(tmp_path)
+        spill = tmp_path / "spill"
+        self.merge(paths, spill)
+        manifest = spill / "extsort-manifest.json"
+        doc = json.loads(manifest.read_text())
+        victim = sorted(doc["completed"])[0]
+        del doc["completed"][victim]
+        manifest.write_text(json.dumps(doc))
+        data = (spill / victim).read_bytes()
+        (spill / victim).write_bytes(data[:len(data) - 3])  # tear it
+        reset_telemetry()
+        np.testing.assert_array_equal(self.merge(paths, spill), expected)
+        assert registry().counter("extsort.merge_runs_resumed").value \
+            == MergePlan.plan(9, 2).num_intermediate_runs - 1
+
+
+class TestSpillStore:
+    def test_names_and_tracks_runs(self, tmp_path):
+        store = SpillStore(tmp_path / "spill")
+        store.add_run(np.arange(5, dtype=np.int64))
+        store.add_run(np.arange(3, 9, dtype=np.int64))
+        assert [p.name for p in store.runs] == \
+            ["run-000000.run", "run-000001.run"]
+        assert store.num_runs == 2
+
+    def test_iter_unique_matches_numpy(self, tmp_path):
+        rng = np.random.default_rng(2)
+        store = SpillStore(tmp_path / "spill")
+        arrays = [rng.integers(0, 400, size=120) for _ in range(5)]
+        for arr in arrays:
+            store.add_run(np.sort(arr.astype(np.int64)))
+        out = collect_chunks(store.iter_unique(chunk_items=32, fan_in=2))
+        np.testing.assert_array_equal(out, expected_unique(arrays))
+
+
+def test_sigkill_mid_merge_pass_resume_byte_identical(tmp_path):
+    """SIGKILL a merge between intermediate passes; the resumed merge
+    adopts the completed runs and produces the identical key stream."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    rng = np.random.default_rng(29)
+    arrays = [rng.integers(0, 1 << 22, size=120_000) for _ in range(16)]
+    runs_dir = tmp_path / "runs"
+    runs_dir.mkdir()
+    paths = make_runs(runs_dir, arrays)
+    spill = tmp_path / "spill"
+    code = (
+        "from pathlib import Path\n"
+        "import numpy as np\n"
+        "from repro.util.external_sort import (collect_chunks,\n"
+        "                                      iter_unique_keys)\n"
+        f"runs = sorted(Path({str(runs_dir)!r}).glob('run-*.run'))\n"
+        "out = collect_chunks(iter_unique_keys(\n"
+        f"    runs, chunk_items=2048, fan_in=2,\n"
+        f"    spill_dir={str(spill)!r}, resume=True))\n"
+        f"np.save({str(tmp_path / 'victim-done.npy')!r}, out)\n"
+    )
+    env = dict(os.environ, PYTHONPATH=src)
+    proc = subprocess.Popen([sys.executable, "-c", code], env=env,
+                            start_new_session=True)
+    killed = False
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if len(list(spill.glob("merge-*.run"))) >= 2:
+                break
+            if proc.poll() is not None:
+                break                       # finished before the kill
+            time.sleep(0.002)
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            killed = True
+    finally:
+        proc.wait()
+
+    reset_telemetry()
+    resumed = collect_chunks(iter_unique_keys(
+        paths, chunk_items=2048, fan_in=2, spill_dir=spill, resume=True,
+        prefetch=False))
+    np.testing.assert_array_equal(resumed, expected_unique(arrays))
+    if killed:
+        # At least one intermediate pass output survived the kill and
+        # was reused instead of re-merged.
+        assert registry().counter(
+            "extsort.merge_runs_resumed").value >= 1

@@ -5,7 +5,8 @@ import pytest
 
 from repro.core.generator import RecursiveVectorGenerator
 from repro.dist.partition import Bin, combine, range_partition, repartition
-from repro.util.shuffle import hash_partition, mix64, partition_sizes
+from repro.util.shuffle import (hash_partition, mix64, partition_sizes,
+                                partition_slices)
 
 
 class TestMix64:
@@ -52,6 +53,50 @@ class TestHashPartition:
         keys = np.arange(40000, dtype=np.int64)
         sizes = partition_sizes(keys, 8)
         assert sizes.max() / sizes.min() < 1.1
+
+
+class TestPartitionSlices:
+    def test_matches_masked_reference(self):
+        """The single-pass grouped layout reproduces, per worker, the
+        exact sequence the old one-mask-per-worker implementation
+        produced (the argsort is stable)."""
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 2**40, size=5000).astype(np.int64)
+        for workers in (1, 2, 7, 16):
+            grouped, offsets = partition_slices(keys, workers)
+            mixed = mix64(keys) % np.uint64(workers)
+            for w in range(workers):
+                ref = keys[mixed == np.uint64(w)]
+                np.testing.assert_array_equal(
+                    grouped[offsets[w]:offsets[w + 1]], ref)
+
+    def test_offsets_structure(self):
+        keys = np.arange(1000, dtype=np.int64)
+        grouped, offsets = partition_slices(keys, 6)
+        assert offsets.shape == (7,)
+        assert offsets[0] == 0 and offsets[-1] == keys.size
+        assert np.all(np.diff(offsets) >= 0)
+        assert grouped.size == keys.size
+
+    def test_hash_partition_slices_are_views(self):
+        parts = hash_partition(np.arange(100, dtype=np.int64), 4)
+        assert all(p.base is not None for p in parts)
+
+    def test_sizes_consistent_with_partition_sizes(self):
+        keys = np.arange(4096, dtype=np.int64)
+        _, offsets = partition_slices(keys, 5)
+        np.testing.assert_array_equal(np.diff(offsets),
+                                      partition_sizes(keys, 5))
+
+    def test_empty_keys(self):
+        grouped, offsets = partition_slices(
+            np.empty(0, dtype=np.int64), 3)
+        assert grouped.size == 0
+        assert offsets.tolist() == [0, 0, 0, 0]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            partition_slices(np.arange(4), 0)
 
 
 class TestBinAndCombine:
