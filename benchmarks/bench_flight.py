@@ -1,0 +1,80 @@
+"""Overhead gate for the live-introspection layer.
+
+``test_flight_overhead_gate`` is the CI gate for the flight recorder and
+the telemetry HTTP server: the full pipeline (generation + adj6 write)
+with a recorder sampling at the default cadence *and* a bound server
+must keep >= 0.95 of the introspection-off throughput.  Off-mode is the
+production default — it must pay nothing beyond one ``None`` check.
+Best-of-3 per mode, modes interleaved so machine noise hits both alike;
+the result lands in ``BENCH_flight.json`` at the repo root so later PRs
+have a trajectory to compare against.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.generator import RecursiveVectorGenerator
+from repro.formats import get_format
+from repro.telemetry import reset_telemetry
+from repro.telemetry.flight import start_flight, stop_flight
+from repro.telemetry.server import TelemetryServer
+
+SCALE = 13
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_flight_overhead_gate(tmp_path, table):
+    fmt = get_format("adj6")
+
+    def one_run(label):
+        gen = RecursiveVectorGenerator(SCALE, 16, seed=9)
+        t0 = time.perf_counter()
+        result = fmt.write_blocks(tmp_path / f"fl.{label}",
+                                  gen.iter_blocks(), gen.num_vertices)
+        return result, time.perf_counter() - t0
+
+    best = {"on": float("inf"), "off": float("inf")}
+    edges = 0
+    samples = 0
+    for _ in range(3):
+        for mode in ("on", "off"):
+            reset_telemetry()
+            server = None
+            if mode == "on":
+                start_flight(0.05)
+                server = TelemetryServer(0).start()
+            try:
+                result, seconds = one_run(mode)
+            finally:
+                if mode == "on":
+                    recorder = stop_flight()
+                    samples = max(samples, len(recorder.tail()))
+                    assert server is not None
+                    server.stop()
+            best[mode] = min(best[mode], seconds)
+            edges = result.num_edges
+
+    ratio = (edges / best["on"]) / (edges / best["off"])
+    records = [{
+        "scale": SCALE,
+        "format": "adj6",
+        "introspection": mode,
+        "edges_per_second": round(edges / best[mode]),
+        "seconds": round(best[mode], 4),
+    } for mode in ("on", "off")]
+    records.append({"scale": SCALE, "format": "adj6",
+                    "introspection": "ratio",
+                    "on_over_off": round(ratio, 4),
+                    "flight_samples": samples})
+    (_REPO_ROOT / "BENCH_flight.json").write_text(
+        json.dumps(records, indent=2) + "\n")
+    table(f"Flight + server overhead (scale {SCALE}, adj6, best of 3)",
+          ["introspection", "seconds", "edges/s"],
+          [[m, round(best[m], 4), f"{edges / best[m]:,.0f}"]
+           for m in ("on", "off")] + [["on/off", f"{ratio:.3f}", ""]])
+    assert samples >= 1                      # the recorder really sampled
+    assert ratio >= 0.95, (
+        f"introspection-on throughput only {ratio:.3f} of off; "
+        "the sampling/serving path regressed")

@@ -93,6 +93,25 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--progress", action="store_true",
                      help="live progress line on stderr "
                           "(edges/s, ETA, pipeline queue depth)")
+    gen.add_argument("--flight", nargs="?", const=True, default=None,
+                     type=float, metavar="INTERVAL",
+                     help="run the flight recorder: sample metrics + "
+                          "process vitals into a bounded ring buffer "
+                          "(optional sampling interval in seconds; "
+                          "distributed workers record themselves too). "
+                          "The time series lands under 'flight' in "
+                          "--metrics-out and --trace-out")
+    gen.add_argument("--serve-telemetry", type=int, default=None,
+                     metavar="PORT",
+                     help="serve live read-only introspection over HTTP "
+                          "on 127.0.0.1:PORT for the duration of the "
+                          "run (/metrics /healthz /progress /spans "
+                          "/flight; 0 picks a free port)")
+    gen.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write the run's span trees (per-worker "
+                          "tracks) + flight counters as Chrome Trace "
+                          "Event JSON, loadable in Perfetto or "
+                          "chrome://tracing")
 
     rich = sub.add_parser("rich",
                           help="generate a rich (gMark-style) graph")
@@ -258,7 +277,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                    _parse_matrix(args.matrix), noise=args.noise,
                    engine=args.engine, sampler=args.sampler,
                    bundle_depth=args.bundle_depth, seed=args.seed,
-                   cluster=cluster, retry=retry)
+                   cluster=cluster, retry=retry,
+                   flight=args.flight,
+                   serve_telemetry=args.serve_telemetry)
     reporter = None
     if args.progress:
         from .telemetry import ProgressReporter
@@ -272,6 +293,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if args.metrics_out is not None:
         from .telemetry import write_json_report
         write_json_report(args.metrics_out, result.telemetry)
+    if args.trace_out is not None:
+        if result.telemetry is None:
+            print("--trace-out skipped: telemetry is disabled "
+                  "(TRILLIONG_TELEMETRY=0)", file=sys.stderr)
+        else:
+            from .telemetry.traceview import write_trace as _write_chrome
+            _write_chrome(args.trace_out, result.telemetry,
+                          label=f"trilliong scale={args.scale}")
+            print(f"chrome trace -> {args.trace_out}")
     if args.sanitize_trace is not None:
         from .sanitize import write_trace
         write_trace(args.sanitize_trace)

@@ -311,6 +311,19 @@ class LintConfig:
     #: picklable top-level functions, and worker code must take its
     #: configuration from the task tuple, not the environment.
     spawn_module_prefixes: tuple[str, ...] = ("repro.dist",)
+    #: Module prefixes holding *read-only live introspection* (RPL509):
+    #: the flight recorder, the telemetry HTTP server, and the trace
+    #: exporter observe a running generation, so any write they perform
+    #: — an RNG draw, a registry mutation, importing generator code —
+    #: could perturb the run they are watching.
+    introspection_module_prefixes: tuple[str, ...] = (
+        "repro.telemetry.flight", "repro.telemetry.server",
+        "repro.telemetry.traceview")
+    #: Import prefixes forbidden inside introspection modules: pulling
+    #: in generator machinery gives read-only code a path to the hot
+    #: loop (and its RNG streams).
+    introspection_forbidden_imports: tuple[str, ...] = (
+        "repro.core", "repro.models")
     #: Violation codes switched off wholesale (per-directory profiles).
     disabled_codes: frozenset[str] = frozenset()
 

@@ -25,6 +25,7 @@ start methods round-trip identically.
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import os
 import time
@@ -36,8 +37,10 @@ from typing import Any, Callable, Sequence
 
 from ..core.rng import stream
 from ..errors import TaskTimeout, TrillionGError, WorkerError
-from ..telemetry import (Stopwatch, absorb_telemetry, get_logger, registry,
+from ..telemetry import (FlightRecorder, Stopwatch, absorb_telemetry,
+                         get_logger, record_worker_report, registry,
                          reset_telemetry, snapshot_telemetry, span)
+from ..telemetry.flight import flight_interval_from_env
 
 _log = get_logger("dist.faults")
 
@@ -202,6 +205,11 @@ class TaskAttempt:
     in_process: bool = False  #: ran in the supervisor (degraded mode)
     error: str | None = None
     injected: str | None = None   #: fault the plan injected, if any
+    #: Flight-recorder forensics for failed attempts when the worker ran
+    #: one (``TRILLIONG_FLIGHT``): the tail of its time series, either
+    #: shipped with a clean error snapshot or recovered from the
+    #: ``<output>.flight`` dump a SIGKILL'd/hung worker left behind.
+    flight: dict | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -218,6 +226,40 @@ def _task_output_path(task: Any) -> str | None:
     return None
 
 
+def _flight_dump_path(task: Any) -> Path | None:
+    """Where a worker's flight recorder dumps its tail for forensics:
+    next to the task's output file (the one path both sides know)."""
+    out_path = _task_output_path(task)
+    return Path(f"{out_path}.flight") if out_path is not None else None
+
+
+def _start_worker_flight(task: Any) -> FlightRecorder | None:
+    """A worker-local flight recorder when ``TRILLIONG_FLIGHT`` asks for
+    one (the env var is inherited by fork/spawn children, so one switch
+    arms every worker).  The env read lives in
+    :func:`repro.telemetry.flight.flight_interval_from_env`, keeping
+    worker entry points free of ad-hoc environment coupling."""
+    interval = flight_interval_from_env()
+    if interval is None:
+        return None
+    return FlightRecorder(interval,
+                          dump_path=_flight_dump_path(task)).start()
+
+
+def _tagged_snapshot(index: int, attempt: int,
+                     recorder: FlightRecorder | None) -> dict:
+    """The worker's outcome snapshot, tagged with its task identity (so
+    the supervisor can keep per-worker trace tracks) and carrying the
+    flight-recorder tail when one is running."""
+    snap = snapshot_telemetry()
+    snap["task_index"] = index
+    snap["attempt"] = attempt
+    if recorder is not None:
+        recorder.sample()
+        snap["flight"] = recorder.snapshot()
+    return snap
+
+
 def _attempt_entry(conn: Any, worker: Callable[[Any], Any], index: int,
                    task: Any, attempt: int,
                    faults: FaultPlan | None) -> None:
@@ -229,9 +271,15 @@ def _attempt_entry(conn: Any, worker: Callable[[Any], Any], index: int,
     parent's live registry — re-reporting it would double-count on merge)
     and a snapshot rides along with *every* outcome message, so even a
     failed or corrupted attempt contributes its partial metrics to the
-    supervisor's aggregate.
+    supervisor's aggregate.  With ``TRILLIONG_FLIGHT`` set the attempt
+    also runs its own flight recorder: its tail travels inside the
+    snapshot, and its on-disk dump is kept only when no snapshot made it
+    out — the SIGKILL/hang forensics the supervisor collects in
+    :func:`run_tasks`.
     """
     reset_telemetry()
+    recorder = _start_worker_flight(task)
+    snapshot_sent = False
     try:
         action = faults.action(index, attempt) if faults is not None \
             else None
@@ -246,14 +294,19 @@ def _attempt_entry(conn: Any, worker: Callable[[Any], Any], index: int,
             out_path = _task_output_path(task)
             if out_path is not None and Path(out_path).is_file():
                 corrupt_file(out_path)
-        conn.send(("ok", result, snapshot_telemetry()))
+        conn.send(("ok", result, _tagged_snapshot(index, attempt,
+                                                  recorder)))
+        snapshot_sent = True
     except BaseException as exc:  # reprolint: disable=RPL402
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}",
-                       snapshot_telemetry()))
+                       _tagged_snapshot(index, attempt, recorder)))
+            snapshot_sent = True
         except (BrokenPipeError, OSError):
             pass
     finally:
+        if recorder is not None:
+            recorder.stop(remove_dump=snapshot_sent)
         conn.close()
 
 
@@ -305,6 +358,21 @@ def _kill(entry: _Running) -> None:
         entry.process.kill()
     entry.process.join()
     entry.conn.close()
+
+
+def _collect_flight_dump(task: Any) -> dict | None:
+    """Recover (and consume) the flight dump a dead worker left next to
+    its output file — the only forensics channel for a worker that never
+    got to send a snapshot (SIGKILL, hang past timeout, hard crash)."""
+    dump = _flight_dump_path(task)
+    if dump is None:
+        return None
+    try:
+        doc = json.loads(dump.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    dump.unlink(missing_ok=True)
+    return doc if isinstance(doc, dict) else None
 
 
 def _fail_task(index: int, attempts: Sequence[TaskAttempt],
@@ -436,11 +504,13 @@ def run_tasks(tasks: Sequence[Any], worker: Callable[[Any], Any], *,
                                   now, deadline)
 
     def settle(index: int, outcome: str, attempt: int, elapsed: float,
-               payload: Any, error: str | None) -> None:
+               payload: Any, error: str | None,
+               forensics: dict | None = None) -> None:
         injected = (faults.action(index, attempt)
                     if faults is not None else None)
-        history[index].append(TaskAttempt(attempt, outcome, elapsed,
-                                          error=error, injected=injected))
+        history[index].append(TaskAttempt(
+            attempt, outcome, elapsed, error=error, injected=injected,
+            flight=forensics if outcome != "ok" else None))
         reg = registry()
         reg.counter("sched.attempts").inc()
         if outcome == "ok":
@@ -517,7 +587,15 @@ def run_tasks(tasks: Sequence[Any], worker: Callable[[Any], Any], *,
                         # Merge the child's metrics and span tree even
                         # when the attempt failed — partial work is real
                         # work, and the aggregate should account for it.
+                        # The tagged original is also retained verbatim
+                        # so trace export can keep per-worker tracks.
                         absorb_telemetry(snap)
+                        record_worker_report(snap)
+                    # Forensics for failed attempts: the flight tail the
+                    # snapshot carried, else the dump a snapshot-less
+                    # death left on disk.
+                    forensics = snap.get("flight") if snap is not None \
+                        else _collect_flight_dump(tasks[index])
                     elapsed = now - entry.started
                     if kind == "ok":
                         error = None
@@ -528,17 +606,19 @@ def run_tasks(tasks: Sequence[Any], worker: Callable[[Any], Any], *,
                                 kind, error = "corrupt", str(exc)
                         settle(index, "ok" if kind == "ok" else kind,
                                entry.attempt, elapsed,
-                               payload if kind == "ok" else None, error)
+                               payload if kind == "ok" else None, error,
+                               forensics=forensics)
                     else:
                         settle(index, "crashed", entry.attempt, elapsed,
-                               None, str(payload))
+                               None, str(payload), forensics=forensics)
                 elif entry.deadline is not None and now >= entry.deadline:
                     _kill(entry)
                     del running[index]
                     settle(index, "timeout", entry.attempt,
                            now - entry.started, None,
                            f"no result within {policy.task_timeout}s; "
-                           "worker killed")
+                           "worker killed",
+                           forensics=_collect_flight_dump(tasks[index]))
     finally:
         for entry in running.values():
             _kill(entry)

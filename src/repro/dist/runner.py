@@ -104,6 +104,18 @@ class DistributedResult:
                    if a and a[-1].outcome == "ok" and a[-1].in_process)
 
     @property
+    def flight_forensics(self) -> dict[int, list[dict]]:
+        """Flight-recorder tails left by failed attempts, per task index
+        (``TRILLIONG_FLIGHT`` runs only): the last seconds of a crashed,
+        hung, or errored worker's time series, in attempt order."""
+        forensics: dict[int, list[dict]] = {}
+        for index, attempts in self.task_attempts.items():
+            tails = [a.flight for a in attempts if a.flight is not None]
+            if tails:
+                forensics[index] = tails
+        return forensics
+
+    @property
     def encode_seconds(self) -> float:
         """Total encode wall time summed across workers."""
         return sum(w.encode_seconds for w in self.workers)

@@ -18,7 +18,8 @@ from .dist.checkpoint import CheckpointedRun
 from .dist.faults import FaultPlan, RetryPolicy
 from .dist.runner import ClusterSpec, DistributedResult, LocalCluster
 from .formats import WriteResult, get_format
-from .telemetry import build_report, span, telemetry_enabled
+from .telemetry import (build_report, flight_session, span, start_server,
+                        telemetry_enabled, worker_reports)
 
 __all__ = ["TrillionG", "TrillionGResult"]
 
@@ -86,7 +87,9 @@ class TrillionG:
                  bundle_depth: int = 8,
                  cluster: ClusterSpec | None = None,
                  retry: RetryPolicy | None = None,
-                 faults: FaultPlan | None = None) -> None:
+                 faults: FaultPlan | None = None,
+                 flight: bool | float | None = None,
+                 serve_telemetry: int | None = None) -> None:
         self.generator = RecursiveVectorGenerator(
             scale, edge_factor,
             seed_matrix if seed_matrix is not None else GRAPH500,
@@ -96,6 +99,15 @@ class TrillionG:
         self.cluster = cluster
         self.retry = retry
         self.faults = faults
+        #: Flight recorder: ``None`` defers to ``TRILLIONG_FLIGHT``,
+        #: ``True``/``False`` force it, a number sets the sampling
+        #: interval in seconds.  The recorder's time series lands under
+        #: ``telemetry["flight"]`` on the result.
+        self.flight = flight
+        #: Introspection HTTP port for the duration of ``generate_to``
+        #: (``0`` = ephemeral); ``None`` defers to
+        #: ``TRILLIONG_SERVE_TELEMETRY``.
+        self.serve_telemetry = serve_telemetry
 
     @property
     def num_vertices(self) -> int:
@@ -129,7 +141,37 @@ class TrillionG:
         lands (per block sequentially, per worker result distributed) —
         pass a :class:`repro.telemetry.ProgressReporter` for a live
         terminal line.
+
+        Live introspection (both read-only — they cannot change the
+        output bytes): with ``flight=...`` a flight recorder samples the
+        run (and, on a cluster, each worker samples itself — the env var
+        is propagated for the duration); with ``serve_telemetry=...`` an
+        HTTP server exposes ``/metrics`` ``/progress`` ``/spans``
+        ``/flight`` while the run is in progress.
         """
+        session = flight_session(self.flight,
+                                 propagate_env=self.cluster is not None)
+        with session as recorder:
+            server = start_server(self.serve_telemetry,
+                                  total_edges=self.num_edges)
+            try:
+                result = self._generate(path, fmt, processes,
+                                        resume=resume,
+                                        blocks_per_chunk=blocks_per_chunk,
+                                        progress=progress)
+            finally:
+                if server is not None:
+                    server.stop()
+            if recorder is not None and result.telemetry is not None:
+                recorder.sample()
+                result.telemetry["flight"] = recorder.snapshot()
+        return result
+
+    def _generate(self, path: Path | str, fmt: str,
+                  processes: int | None, *, resume: bool,
+                  blocks_per_chunk: int,
+                  progress: Callable[[int], None] | None
+                  ) -> TrillionGResult:
         if resume:
             return self._generate_resumable(path, fmt, processes,
                                             blocks_per_chunk, progress)
@@ -208,5 +250,14 @@ class TrillionG:
 
     @staticmethod
     def _report() -> dict | None:
-        """Snapshot the telemetry report, or ``None`` when disabled."""
-        return build_report() if telemetry_enabled() else None
+        """Snapshot the telemetry report, or ``None`` when disabled.
+
+        Distributed runs also carry the verbatim per-worker snapshots
+        (``worker_reports``) so trace export can draw one track per
+        worker instead of only the merged aggregate.
+        """
+        if not telemetry_enabled():
+            return None
+        reports = worker_reports()
+        extra = {"worker_reports": list(reports)} if reports else None
+        return build_report(extra)

@@ -1,4 +1,4 @@
-"""repro.telemetry — unified metrics, spans, and progress reporting.
+"""repro.telemetry — unified metrics, spans, progress, and live introspection.
 
 The zero-dependency observability layer the rest of the pipeline reports
 through (stdlib only — no numpy, no repro imports):
@@ -12,28 +12,44 @@ through (stdlib only — no numpy, no repro imports):
 - :func:`snapshot_telemetry` / :func:`absorb_telemetry` — the
   cross-process protocol: workers snapshot, the supervisor absorbs, and
   a distributed run yields one coherent report.
+- :mod:`.flight` — the flight recorder: a bounded ring-buffer sampler
+  thread over the registry + process vitals (``TRILLIONG_FLIGHT``).
+- :mod:`.server` — the read-only introspection HTTP server
+  (``/metrics`` ``/healthz`` ``/progress`` ``/spans`` ``/flight``).
+- :mod:`.traceview` — Chrome Trace Event Format export for
+  Perfetto/chrome://tracing.
 - :mod:`.export` — structured ``repro.*`` logging, JSON report,
   Prometheus text format; :mod:`.progress` — the human ``--progress``
   line.
 
-See ``docs/observability.md`` for the metric catalog and span taxonomy.
+See ``docs/observability.md`` for the metric catalog, span taxonomy,
+and the live-introspection endpoint catalog.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping
 
-from .export import (LOG_LEVEL_ENV_VAR, build_report, configure_logging,
-                     get_logger, log_report, merge_reports, to_prometheus,
+from .export import (LOG_LEVEL_ENV_VAR, SCHEMA_VERSION, build_report,
+                     configure_logging, escape_label_value, get_logger,
+                     log_report, merge_reports, to_prometheus,
                      write_json_report)
+from .flight import (DEFAULT_FLIGHT_CAPACITY, DEFAULT_FLIGHT_INTERVAL,
+                     FLIGHT_CAPACITY_ENV, FLIGHT_ENV, FLIGHT_INTERVAL_ENV,
+                     FlightRecorder, current_recorder, flight_session,
+                     resolve_flight_interval, start_flight, stop_flight)
 from .metrics import (ENV_VAR, NULL_REGISTRY, POW2_BUCKETS,
                       RECURSION_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, NullRegistry, enable_telemetry,
                       global_registry, merge_metrics, registry,
                       reset_metrics, telemetry_enabled)
 from .progress import ProgressReporter, human_count
+from .server import (SERVE_ENV, TelemetryServer, progress_payload,
+                     serve_port_from_env, start_server)
 from .spans import (Span, SpanNode, Stopwatch, Tracer, merge_span_trees,
                     reset_tracer, span, tracer)
+from .traceview import build_trace, write_trace
 
 __all__ = [
     # switches
@@ -47,10 +63,21 @@ __all__ = [
     "reset_tracer", "merge_span_trees",
     # cross-process protocol
     "snapshot_telemetry", "absorb_telemetry", "reset_telemetry",
+    "record_worker_report", "worker_reports",
+    # flight recorder
+    "FLIGHT_ENV", "FLIGHT_INTERVAL_ENV", "FLIGHT_CAPACITY_ENV",
+    "DEFAULT_FLIGHT_INTERVAL", "DEFAULT_FLIGHT_CAPACITY",
+    "FlightRecorder", "start_flight", "stop_flight", "current_recorder",
+    "flight_session", "resolve_flight_interval",
+    # introspection server
+    "SERVE_ENV", "TelemetryServer", "start_server", "serve_port_from_env",
+    "progress_payload",
+    # trace export
+    "build_trace", "write_trace",
     # exporters / progress
-    "build_report", "merge_reports", "write_json_report", "to_prometheus",
-    "log_report", "configure_logging", "get_logger",
-    "ProgressReporter", "human_count",
+    "SCHEMA_VERSION", "build_report", "merge_reports", "write_json_report",
+    "to_prometheus", "escape_label_value", "log_report",
+    "configure_logging", "get_logger", "ProgressReporter", "human_count",
 ]
 
 
@@ -73,9 +100,41 @@ def absorb_telemetry(snapshot: Mapping) -> None:
     tracer().attach(snapshot.get("spans", ()))
 
 
+# Per-worker snapshots as shipped (tagged with task_index/attempt),
+# kept verbatim alongside the merged aggregate so the trace exporter
+# can draw each worker on its own track.  Bounded: a pathological
+# retry storm must not grow supervisor memory without limit.
+_WORKER_REPORT_CAP = 512
+_worker_reports: list[dict] = []
+_worker_reports_lock = threading.Lock()
+
+
+def record_worker_report(snapshot: Mapping) -> None:
+    """Retain one worker's tagged snapshot verbatim (supervisor side).
+
+    :func:`absorb_telemetry` merges it into the aggregate; this keeps
+    the un-merged original for per-worker trace tracks.  Oldest reports
+    are dropped beyond a fixed cap.
+    """
+    if not telemetry_enabled():
+        return
+    with _worker_reports_lock:
+        _worker_reports.append(dict(snapshot))
+        if len(_worker_reports) > _WORKER_REPORT_CAP:
+            del _worker_reports[:len(_worker_reports) - _WORKER_REPORT_CAP]
+
+
+def worker_reports() -> tuple[dict, ...]:
+    """The retained per-worker snapshots, oldest first."""
+    with _worker_reports_lock:
+        return tuple(_worker_reports)
+
+
 def reset_telemetry() -> None:
     """Clear all telemetry state — called at worker-process entry so a
     forked child does not re-report metrics inherited from its parent,
     and by tests."""
     reset_metrics()
     reset_tracer()
+    with _worker_reports_lock:
+        _worker_reports.clear()

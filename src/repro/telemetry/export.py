@@ -1,12 +1,15 @@
 """Exporters: structured logging, JSON report, Prometheus text format.
 
 One *report* is the JSON-able pair of the metric snapshot and the span
-trees::
+trees, stamped with the report schema version::
 
-    {"metrics": {...}, "spans": [...]}
+    {"schema_version": 1, "metrics": {...}, "spans": [...]}
 
 Everything here renders or ships that shape; nothing in this module is
-on a hot path.
+on a hot path.  Reports are written atomically (tmp + fsync + rename —
+the same discipline as ``repro.util.spill``, re-implemented locally
+because the telemetry layer sits below ``repro.util`` in the import
+layering), so a crash mid-dump never leaves a truncated report behind.
 """
 
 from __future__ import annotations
@@ -23,14 +26,21 @@ from .spans import merge_span_trees, tracer
 
 __all__ = [
     "LOG_LEVEL_ENV_VAR",
+    "SCHEMA_VERSION",
     "configure_logging",
     "get_logger",
     "build_report",
     "merge_reports",
     "write_json_report",
     "to_prometheus",
+    "escape_label_value",
     "log_report",
 ]
+
+#: Version of the report shape.  Reports written before versioning are
+#: treated as version 1 (the shape has not changed, only gained the
+#: stamp); :func:`merge_reports` refuses explicit mismatches.
+SCHEMA_VERSION = 1
 
 #: Environment variable naming the stdlib log level for the ``repro``
 #: logger hierarchy (``DEBUG``/``INFO``/``WARNING``/... or an integer).
@@ -87,6 +97,7 @@ def configure_logging(level: int | str | None = None,
 def build_report(extra: Mapping[str, object] | None = None) -> dict:
     """Snapshot the live registry + tracer into one report dict."""
     report = {
+        "schema_version": SCHEMA_VERSION,
         "metrics": global_registry().snapshot(),
         "spans": tracer().snapshot(),
     }
@@ -95,10 +106,33 @@ def build_report(extra: Mapping[str, object] | None = None) -> dict:
     return report
 
 
+def _report_version(report: Mapping) -> int:
+    """A report's schema version; missing means pre-versioning = 1."""
+    raw = report.get("schema_version", SCHEMA_VERSION)
+    try:
+        return int(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"unintelligible report schema_version: {raw!r}") from None
+
+
 def merge_reports(*reports: Mapping) -> dict:
     """Pure merge of reports (metrics by metric semantics, spans by
-    name-aligned tree merge); associative, ignores extra keys."""
+    name-aligned tree merge); associative, ignores extra keys.
+
+    Refuses reports whose ``schema_version`` differs from
+    :data:`SCHEMA_VERSION` (a silent cross-version merge could blend
+    incompatible metric semantics); reports without the stamp are
+    tolerated as version 1.
+    """
+    for report in reports:
+        version = _report_version(report)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"cannot merge report with schema_version={version} "
+                f"(this build writes {SCHEMA_VERSION})")
     return {
+        "schema_version": SCHEMA_VERSION,
         "metrics": merge_metrics(*(r.get("metrics", {}) for r in reports)),
         "spans": merge_span_trees(*(r.get("spans", ()) for r in reports)),
     }
@@ -106,18 +140,57 @@ def merge_reports(*reports: Mapping) -> dict:
 
 def write_json_report(path: Path | str,
                       report: Mapping | None = None) -> Path:
-    """Dump a report (default: a fresh :func:`build_report`) as JSON."""
+    """Dump a report (default: a fresh :func:`build_report`) as JSON,
+    atomically: ``.partial.<pid>`` + fsync + rename, then fsync the
+    directory, so a crash mid-dump never leaves a truncated report and
+    a rename survives power loss."""
     path = Path(path)
     if report is None:
         report = build_report()
-    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    doc = dict(report)
+    doc.setdefault("schema_version", SCHEMA_VERSION)
+    tmp = path.with_name(f"{path.name}.partial.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return path  # platform without directory fds; rename still atomic
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
     return path
 
 
 def _prom_name(name: str) -> str:
-    cleaned = "".join(c if c.isalnum() else "_" for c in name)
+    """Sanitize to a legal Prometheus metric name.
+
+    The exposition format allows ``[a-zA-Z_:][a-zA-Z0-9_:]*``; runs of
+    anything else collapse to a single ``_`` so ``gen.alias.build++``
+    reads ``trilliong_gen_alias_build_`` rather than sprouting one
+    underscore per bad character.  The ``trilliong_`` prefix also
+    guarantees the first character is legal.
+    """
+    cleaned = "".join(c if (c.isascii() and c.isalnum()) or c in "_:"
+                      else "_" for c in name)
+    while "__" in cleaned:
+        cleaned = cleaned.replace("__", "_")
     return f"trilliong_{cleaned}"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and newline must be escaped inside the
+    double-quoted label value."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def to_prometheus(metrics: Mapping[str, Mapping] | None = None) -> str:

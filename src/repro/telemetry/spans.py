@@ -149,9 +149,11 @@ class SpanNode:
 
 
 class _Frame:
-    __slots__ = ("node", "start", "child_seconds")
+    __slots__ = ("name", "node", "start", "child_seconds")
 
-    def __init__(self, node: SpanNode | None, start: float) -> None:
+    def __init__(self, name: str, node: SpanNode | None,
+                 start: float) -> None:
+        self.name = name
         self.node = node
         self.start = start
         self.child_seconds = 0.0
@@ -191,6 +193,11 @@ class Tracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self.roots: dict[str, SpanNode] = {}
+        # ident -> (thread name, that thread's live frame stack).  Lets
+        # read-only introspection (flight recorder, /spans) see every
+        # thread's active phase; each list is only ever mutated by its
+        # owning thread, so readers just copy it.
+        self._stacks: dict[int, tuple[str, list[_Frame]]] = {}
 
     # -- stack machinery -------------------------------------------------
 
@@ -198,13 +205,16 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            thread = threading.current_thread()
+            with self._lock:
+                self._stacks[thread.ident or 0] = (thread.name, stack)
         return stack
 
     def _enter(self, name: str, attrs: Mapping[str, object]) -> _Frame:
         stack = self._stack()
         if not telemetry_enabled():
             # Measure only: a node-less frame still times the phase.
-            frame = _Frame(None, time.perf_counter())
+            frame = _Frame(name, None, time.perf_counter())
             stack.append(frame)
             return frame
         if stack and stack[-1].node is not None:
@@ -216,7 +226,7 @@ class Tracer:
                     node = self.roots[name] = SpanNode(name)
         for key, value in attrs.items():
             node.attrs[key] = value
-        frame = _Frame(node, time.perf_counter())
+        frame = _Frame(name, node, time.perf_counter())
         stack.append(frame)
         return frame
 
@@ -245,6 +255,25 @@ class Tracer:
         """The innermost active span node of this thread, if any."""
         stack = self._stack()
         return stack[-1].node if stack else None
+
+    def active_stacks(self) -> dict[str, list[str]]:
+        """Live span stacks of every thread, outermost first, keyed by
+        thread name — the "what phase is each thread in right now" view
+        the flight recorder and ``/spans`` serve.  Read-only: copies the
+        per-thread lists, prunes registry entries for dead threads, and
+        never touches the trace tree.
+        """
+        live = {t.ident for t in threading.enumerate()}
+        active: dict[str, list[str]] = {}
+        with self._lock:
+            for ident in [i for i in self._stacks if i not in live]:
+                del self._stacks[ident]
+            entries = list(self._stacks.values())
+        for name, stack in entries:
+            frames = list(stack)
+            if frames:
+                active[name] = [frame.name for frame in frames]
+        return active
 
     def snapshot(self) -> list[dict]:
         """JSON-able copy of the finished trace tree (roots, sorted)."""
@@ -282,6 +311,7 @@ class Tracer:
     def reset(self) -> None:
         with self._lock:
             self.roots.clear()
+            self._stacks.clear()
         self._local = threading.local()
 
 

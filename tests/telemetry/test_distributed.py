@@ -100,6 +100,69 @@ def test_byte_identity_under_faults(tmp_path):
             == (tmp_path / "faulty" / b).read_bytes()
 
 
+def test_worker_reports_retained_verbatim(tmp_path):
+    """Beyond the merged aggregate, the supervisor keeps each worker's
+    tagged snapshot so trace export can draw one track per worker."""
+    tg = _system()
+    result = tg.generate_to(tmp_path / "out", fmt="adj6", processes=4)
+    reports = result.telemetry["worker_reports"]
+    assert len(reports) >= 4
+    assert {r["task_index"] for r in reports} == {0, 1, 2, 3}
+    for report in reports:
+        assert report["attempt"] >= 1
+        names = [root["name"] for root in report["spans"]]
+        assert "worker.generate" in names
+
+
+def test_sequential_flight_rides_result_telemetry(tmp_path):
+    tg = TrillionG(SCALE, edge_factor=16, seed=7, block_size=BLOCK,
+                   flight=0.02)
+    result = tg.generate_to(tmp_path / "g.adj6", fmt="adj6")
+    flight = result.telemetry["flight"]
+    assert flight["interval_seconds"] == 0.02
+    assert flight["samples"]                 # final stop-time sample
+    last = flight["samples"][-1]
+    assert last["metrics"]["generator.edges"] == result.num_edges
+    # The recorder died with the session: nothing keeps sampling.
+    from repro.telemetry.flight import current_recorder
+    assert current_recorder() is None
+
+
+def test_flight_forensics_attached_to_failed_attempts(tmp_path,
+                                                      monkeypatch):
+    """A crashed attempt leaves its flight tail on the TaskAttempt; the
+    clean retry does not, and no dump files survive on disk."""
+    monkeypatch.setenv("TRILLIONG_FLIGHT", "0.02")
+    from repro.dist.runner import LocalCluster
+    from repro.system import RetryPolicy
+    generator = TrillionG(SCALE, edge_factor=16, seed=7,
+                          block_size=BLOCK).generator
+    cluster = LocalCluster(num_workers=4)
+    res = cluster.generate_to_files(
+        generator, tmp_path, "adj6", processes=2,
+        retry=RetryPolicy(retries=2, backoff_base=0.01,
+                          backoff_max=0.05, jitter=0.0),
+        faults=FaultPlan(crash_tasks=frozenset({0})))
+    attempts = res.task_attempts[0]
+    assert [a.outcome for a in attempts] == ["crashed", "ok"]
+    forensics = attempts[0].flight
+    assert forensics is not None and forensics["samples"]
+    assert forensics["interval_seconds"] == 0.02
+    assert attempts[1].flight is None        # success carries no tail
+    assert res.flight_forensics == {0: [forensics]}
+    assert list(tmp_path.glob("*.flight*")) == []
+
+
+def test_worker_flight_tails_ride_worker_reports(tmp_path, monkeypatch):
+    monkeypatch.setenv("TRILLIONG_FLIGHT", "0.02")
+    tg = _system(flight=0.02)
+    result = tg.generate_to(tmp_path / "out", fmt="adj6", processes=4)
+    for report in result.telemetry["worker_reports"]:
+        assert report["flight"]["samples"]
+    # The supervisor's own series is there too.
+    assert result.telemetry["flight"]["samples"]
+
+
 @pytest.mark.parametrize("fmt", ["adj6", "tsv"])
 def test_wesp_runner_spans(tmp_path, fmt):
     from repro.dist.wesp_runner import run_wesp_distributed

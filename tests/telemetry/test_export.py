@@ -6,8 +6,12 @@ from __future__ import annotations
 import io
 import json
 import logging
+import re
 
-from repro.telemetry import (ProgressReporter, build_report, get_logger,
+import pytest
+
+from repro.telemetry import (SCHEMA_VERSION, ProgressReporter,
+                             build_report, escape_label_value, get_logger,
                              global_registry, log_report, merge_reports,
                              span, to_prometheus, write_json_report)
 from repro.telemetry.progress import QUEUE_GAUGE, human_count
@@ -56,6 +60,90 @@ def test_prometheus_rendering():
     assert 'trilliong_generator_scope_size_bucket{le="2"} 1' in text
     assert 'trilliong_generator_scope_size_bucket{le="+Inf"} 1' in text
     assert "trilliong_generator_scope_size_count 1" in text
+
+
+#: Legal exposition-format sample line: ``name{labels} value`` with the
+#: metric name drawn from ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+_SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9].*$')
+
+
+def test_prometheus_names_stay_legal_for_hostile_inputs():
+    reg = global_registry()
+    # Real metric families under names the sanitizer must rewrite.
+    reg.counter("gen.alias.build++").inc(2)
+    reg.counter("a..b").inc(1)
+    reg.gauge("weird-name!.depth").set(4)
+    reg.histogram("päth.größe", bounds=(1.0,)).observe(0.5)
+    text = to_prometheus()
+    for line in text.splitlines():
+        if line.startswith("#"):
+            assert re.match(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+                            r"(counter|gauge|histogram)$", line), line
+        else:
+            assert _SAMPLE.match(line), line
+    # Runs of illegal characters collapse to one underscore each.
+    assert "trilliong_gen_alias_build_ 2" in text
+    assert "trilliong_a_b 1" in text
+    assert "trilliong_weird_name_depth 4" in text
+    assert "trilliong_p_th_gr_e_count 1" in text
+
+
+def test_prometheus_round_trips_every_real_family():
+    """Render the full populated registry and parse it back: every
+    non-comment line must be a legal sample, and every registered
+    metric must surface at least one sample."""
+    _populate()
+    snapshot = global_registry().snapshot()
+    text = to_prometheus(snapshot)
+    parsed: dict[str, float] = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        assert _SAMPLE.match(line), line
+        name = line.split("{")[0].split(" ")[0]
+        parsed[name] = float(line.rsplit(" ", 1)[1])
+    assert parsed["trilliong_generator_edges"] == 1024.0
+    assert parsed["trilliong_pipeline_queue_high_water"] == 3.0
+    assert parsed["trilliong_generator_scope_size_count"] == 1.0
+    # Exactly one TYPE header per family, each before its samples.
+    assert text.count("# TYPE") == len(snapshot)
+
+
+def test_escape_label_value():
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("a\nb") == "a\\nb"
+    assert escape_label_value("plain") == "plain"
+
+
+def test_build_report_stamps_schema_version():
+    assert build_report()["schema_version"] == SCHEMA_VERSION
+
+
+def test_write_json_report_stamps_and_is_atomic(tmp_path):
+    path = write_json_report(tmp_path / "run.json",
+                             {"metrics": {}, "spans": []})
+    doc = json.loads(path.read_text())
+    assert doc["schema_version"] == SCHEMA_VERSION
+    assert list(tmp_path.glob("*.partial.*")) == []
+    # Overwrite replaces the whole document atomically.
+    write_json_report(path, {"metrics": {}, "spans": [], "marker": 1})
+    assert json.loads(path.read_text())["marker"] == 1
+    assert list(tmp_path.glob("*.partial.*")) == []
+
+
+def test_merge_reports_refuses_version_mismatch():
+    _populate()
+    current = build_report()
+    legacy = {k: v for k, v in current.items() if k != "schema_version"}
+    merged = merge_reports(current, legacy)    # missing stamp: version 1
+    assert merged["schema_version"] == SCHEMA_VERSION
+    future = dict(current, schema_version=SCHEMA_VERSION + 1)
+    with pytest.raises(ValueError, match="schema_version=2"):
+        merge_reports(current, future)
+    with pytest.raises(ValueError, match="unintelligible"):
+        merge_reports(dict(current, schema_version="not-a-number"))
 
 
 def test_get_logger_hierarchy():

@@ -3,6 +3,7 @@ re-entry, disabled-mode measurement, and the merge/attach algebra."""
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.telemetry import (SpanNode, Stopwatch, enable_telemetry,
@@ -105,6 +106,105 @@ def test_merge_span_trees_is_associative():
     assert root["count"] == 7
     assert abs(root["total_seconds"] - 4.5) < 1e-12
     assert root["children"][0]["count"] == 7
+
+
+def test_merge_span_trees_deep_and_unbalanced():
+    """One report carries a deep chain, the other stops early and has an
+    extra sibling subtree: the merge keeps every branch, aligned by
+    name, with per-node sums."""
+    def chain(depth, seconds):
+        root = node = SpanNode("level0")
+        node.count = 1
+        node.total_seconds = seconds
+        for i in range(1, depth):
+            node = node.child(f"level{i}")
+            node.count = 1
+            node.total_seconds = seconds / (i + 1)
+        return root
+
+    deep = chain(6, 6.0).to_dict()
+    shallow_root = chain(2, 2.0)
+    extra = shallow_root.child("sidecar")
+    extra.count = 3
+    shallow = shallow_root.to_dict()
+
+    (merged,) = merge_span_trees([deep], [shallow])
+    node, depth = merged, 0
+    while node["children"]:
+        named = {c["name"]: c for c in node["children"]}
+        if depth == 0:
+            assert set(named) == {"level1", "sidecar"}
+            assert named["sidecar"]["count"] == 3
+        node = named[f"level{depth + 1}"]
+        depth += 1
+    assert depth == 5                        # the deep chain survived
+    assert merged["count"] == 2
+    assert abs(merged["total_seconds"] - 8.0) < 1e-12
+
+
+def test_merge_span_trees_ignores_sibling_order():
+    def tree(order):
+        root = SpanNode("root")
+        root.count = 1
+        for name in order:
+            child = root.child(name)
+            child.count = 1
+        return [root.to_dict()]
+
+    forward = merge_span_trees(tree(["a", "b", "c"]),
+                               tree(["c", "b", "a"]))
+    (root,) = forward
+    counts = {c["name"]: c["count"] for c in root["children"]}
+    assert counts == {"a": 2, "b": 2, "c": 2}
+
+
+def test_active_stacks_reports_live_frames_per_thread():
+    assert tracer().active_stacks() == {}
+    with span("generate"):
+        with span("format.write_blocks"):
+            stacks = tracer().active_stacks()
+            (stack,) = stacks.values()
+            assert stack == ["generate", "format.write_blocks"]
+            name = next(iter(stacks))
+            assert name == threading.current_thread().name
+        (stack,) = tracer().active_stacks().values()
+        assert stack == ["generate"]
+    assert tracer().active_stacks() == {}
+
+
+def test_active_stacks_sees_other_threads():
+    entered = threading.Event()
+    release = threading.Event()
+
+    def work():
+        with span("worker.generate"):
+            entered.set()
+            release.wait(5)
+
+    thread = threading.Thread(target=work, name="bg-worker")
+    thread.start()
+    try:
+        assert entered.wait(5)
+        assert tracer().active_stacks()["bg-worker"] == \
+            ["worker.generate"]
+    finally:
+        release.set()
+        thread.join()
+    assert "bg-worker" not in tracer().active_stacks()
+
+
+def test_active_stacks_prunes_dead_threads():
+    """A thread that dies mid-span (crash, abandoned frame) must not
+    haunt the active view forever."""
+    def abandon():
+        span("ghost").__enter__()            # never exited
+
+    thread = threading.Thread(target=abandon, name="dying")
+    thread.start()
+    thread.join()
+    # The dead thread's ident is no longer live, so its stale frame is
+    # dropped rather than reported.
+    assert "dying" not in tracer().active_stacks()
 
 
 def test_attach_grafts_under_current_span_without_exclusive_charge():
