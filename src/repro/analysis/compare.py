@@ -78,7 +78,7 @@ def chi2_two_sample_statistic(counts_a: np.ndarray, counts_b: np.ndarray,
     stat = float((((a[keep] - expected_a[keep]) ** 2 / expected_a[keep])
                   + ((b[keep] - expected_b[keep]) ** 2
                      / expected_b[keep])).sum())
-    return stat, int(keep.sum()) - 1
+    return stat, int(keep.sum(dtype=np.int64)) - 1
 
 
 def loglog_plot_distance(degrees_a: np.ndarray, degrees_b: np.ndarray,

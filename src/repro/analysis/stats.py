@@ -39,7 +39,7 @@ def graph_stats(edges: np.ndarray, num_vertices: int) -> GraphStats:
     if m:
         packed = edges[:, 0] * np.int64(num_vertices) + edges[:, 1]
         is_simple = np.unique(packed).size == m
-        self_loops = int((edges[:, 0] == edges[:, 1]).sum())
+        self_loops = int((edges[:, 0] == edges[:, 1]).sum(dtype=np.int64))
     else:
         is_simple = True
         self_loops = 0
@@ -54,7 +54,7 @@ def graph_stats(edges: np.ndarray, num_vertices: int) -> GraphStats:
         max_out_degree=int(outs.max()) if num_vertices else 0,
         max_in_degree=int(ins.max()) if num_vertices else 0,
         mean_degree=m / num_vertices if num_vertices else 0.0,
-        zero_out_degree_vertices=int((outs == 0).sum()),
+        zero_out_degree_vertices=int((outs == 0).sum(dtype=np.int64)),
         self_loops=self_loops,
         density=m / (num_vertices ** 2) if num_vertices else 0.0,
     )

@@ -113,4 +113,4 @@ def validate_bfs_parents(parent: np.ndarray, root: int,
 
 def reachable_count(parent: np.ndarray) -> int:
     """Vertices reached by the BFS (including the root)."""
-    return int((parent >= 0).sum())
+    return int((parent >= 0).sum(dtype=np.int64))

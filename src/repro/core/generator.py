@@ -687,7 +687,10 @@ class RecursiveVectorGenerator:
         hi = min(lo + self.block_size, self.num_vertices)
         if lo >= self.num_vertices:
             raise ValueError(f"block {block_index} is out of range")
-        return np.arange(lo, hi, dtype=np.uint64)
+        # int64, the AdjacencyBlock ID convention: the bit-twiddling
+        # consumers (recvec builds, bit probabilities, alias codes)
+        # all re-cast to uint64 themselves.
+        return np.arange(lo, hi, dtype=np.int64)
 
     def _check_range(self, start: int, stop: int | None) -> tuple[int, int]:
         if stop is None:

@@ -156,7 +156,7 @@ class NAryRecursiveVectorGenerator:
         sources = self._block_sources(block_index)
         degrees = self.block_degrees(block_index)
         rng = stream(self.seed, _TAG_EDGE, block_index)
-        rows = np.repeat(np.arange(sources.size), degrees)
+        rows = np.repeat(np.arange(sources.size, dtype=np.int64), degrees)
         src_digits = self._digits(sources[rows])
         dests = self._sample_destinations(src_digits, rng)
         if not self.dedup:
@@ -169,7 +169,7 @@ class NAryRecursiveVectorGenerator:
             shortfall = degrees - have
             if not (shortfall > 0).any():
                 break
-            refill = np.repeat(np.arange(sources.size),
+            refill = np.repeat(np.arange(sources.size, dtype=np.int64),
                                np.maximum(shortfall, 0))
             new = refill.astype(np.int64) * span + self._sample_destinations(
                 self._digits(sources[refill]), rng)

@@ -80,7 +80,8 @@ class SeedMatrix:
     @classmethod
     def uniform(cls, order: int = 2) -> "SeedMatrix":
         """All-equal entries: the Erdős–Rényi special case (Sec. 8)."""
-        return cls(np.full((order, order), 1.0 / (order * order)))
+        return cls(np.full((order, order), 1.0 / (order * order),
+                           dtype=np.float64))
 
     # -- basic views -------------------------------------------------------
 

@@ -14,8 +14,10 @@ Two layers of rules:
   :class:`ast.NodeVisitor` per file;
 - the v2 analysis engine (:mod:`~repro.devtools.engine`) — per-function
   control-flow graphs with a forward dataflow framework (RNG-stream
-  flow, atomic-write protocol, resource lifecycle) and a whole-program
-  project model (call-graph layering, dead-pragma detection), with an
+  flow, atomic-write protocol, resource lifecycle, and the RPL8xx
+  numeric dtype/interval abstract interpretation for scale soundness)
+  and a whole-program project model (call-graph layering, dead-pragma
+  detection, cross-module numeric-interface checks), with an
   incremental cache keyed on content + config + engine version.
 
 Reporters live in :mod:`~repro.devtools.reporters`; the CLI is

@@ -11,8 +11,16 @@ Layers, bottom to top:
 - :mod:`~repro.devtools.engine.project` — the whole-program model:
   per-module symbol tables, the resolved import graph (re-exports
   included), and an approximate call graph;
+- :mod:`~repro.devtools.engine.domains` — the numeric abstract domains
+  (numpy dtype lattice, grid-widened interval arithmetic, the constant
+  evaluator, and the ``assume`` pragma scanner);
 - :mod:`~repro.devtools.engine.flow_checkers` — the flow-sensitive
   file checkers (rng-stream-flow, atomic-write, resource-lifecycle);
+- :mod:`~repro.devtools.engine.numeric_checkers` — the RPL8xx
+  scale-soundness family: dtype & value-range abstract interpretation
+  over the CFG (narrowing casts, default-dtype constructors,
+  accumulation overflow, probability ranges), plus the cross-module
+  ``numeric-interface`` project checker;
 - :mod:`~repro.devtools.engine.concurrency_checkers` — the RPL6xx
   concurrency family (thread-shared-state, thread-lifecycle, and the
   whole-program spawn-hygiene rules);
@@ -29,10 +37,15 @@ from .cache import ENGINE_VERSION, LintCache, config_fingerprint
 from .cfg import (CFG, CFGNode, build_cfg, iter_function_cfgs,
                   node_fragments)
 from .dataflow import ForwardAnalysis, run_forward
+from .domains import DTYPES, AbsVal, Interval, promote
 from .project import ModuleSummary, ProjectModel, summarize_source
 from .runner import LintRun, run_paths
 
 __all__ = [
+    "DTYPES",
+    "AbsVal",
+    "Interval",
+    "promote",
     "CFG",
     "CFGNode",
     "build_cfg",

@@ -1,0 +1,563 @@
+"""Numeric abstract domains for the scale-soundness analysis (RPL8xx).
+
+TrillionG exists because vertex IDs exceed 2^32 (the ADJ6/CSR6 formats
+carry 48-bit IDs), so a silent ``int32`` narrowing anywhere on an
+ID-carrying path is a correctness bug that only manifests at scales no
+test can afford to run.  This module supplies the two abstract domains
+the :mod:`~repro.devtools.engine.numeric_checkers` family interprets
+code over:
+
+- a **numpy dtype lattice** — ``bool`` ⊑ ``uint8`` … ⊑ ``int64`` /
+  ``uint64`` / ``float64``, with ``None`` as unknown/⊥ and a
+  numpy-style promotion join (:func:`promote`);
+- an **interval domain** (:class:`Interval`) with exact integer
+  endpoints where derivable and ``±inf`` otherwise, conservative
+  arithmetic, and outward **widening onto a finite grid** of
+  power-of-two thresholds (:func:`Interval.widened`) so the dataflow
+  worklist terminates on loops.
+
+The policy throughout is *flag only what is positively derived*: an
+unknown value (no interval) never flags, so ``rng.normal(...)`` piped
+through ``astype(np.int64)`` stays quiet while ``MAX_ID``-bounded IDs
+cast to ``int32`` do not.
+
+Also here: the module-level constant evaluator (so ``MAX_ID =
+(1 << 48) - 1`` seeds the domain exactly) and the scanner for the
+``# reprolint: assume(x, lo, hi)`` pragma that feeds externally-known
+bounds into the analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import math
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+__all__ = ["DTypeInfo", "DTYPES", "promote", "dtype_range", "parse_dtype",
+           "Interval", "AbsVal", "UNKNOWN", "const_value",
+           "module_constants", "AssumeRecord", "scan_assumes", "GRID"]
+
+Number = Union[int, float]
+
+
+# -- the dtype lattice -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DTypeInfo:
+    """One numpy dtype: its kind, width, and representable range."""
+
+    name: str
+    kind: str      #: ``b`` bool, ``u`` unsigned, ``i`` signed, ``f`` float
+    bits: int
+    lo: Number
+    hi: Number
+
+
+def _int_info(name: str, kind: str, bits: int) -> DTypeInfo:
+    if kind == "u":
+        return DTypeInfo(name, kind, bits, 0, 2 ** bits - 1)
+    return DTypeInfo(name, kind, bits, -(2 ** (bits - 1)),
+                     2 ** (bits - 1) - 1)
+
+
+#: Every dtype the analysis tracks.  float ranges are astronomically
+#: wide, so float targets effectively never trigger a range flag — the
+#: RPL810 rule is about *range*, not mantissa precision.
+DTYPES: dict[str, DTypeInfo] = {
+    "bool": DTypeInfo("bool", "b", 1, 0, 1),
+    "uint8": _int_info("uint8", "u", 8),
+    "uint16": _int_info("uint16", "u", 16),
+    "uint32": _int_info("uint32", "u", 32),
+    "uint64": _int_info("uint64", "u", 64),
+    "int8": _int_info("int8", "i", 8),
+    "int16": _int_info("int16", "i", 16),
+    "int32": _int_info("int32", "i", 32),
+    "int64": _int_info("int64", "i", 64),
+    "float32": DTypeInfo("float32", "f", 32, -3.4028235e38, 3.4028235e38),
+    "float64": DTypeInfo("float64", "f", 64, -math.inf, math.inf),
+}
+
+#: numpy single-letter codes used in struct-style strings (``"<u4"``).
+_LETTER_KINDS = {"u": "uint", "i": "int", "f": "float", "b": "bool"}
+
+
+def dtype_range(name: str) -> tuple[Number, Number]:
+    info = DTYPES[name]
+    return info.lo, info.hi
+
+
+def promote(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Join of two dtypes under (simplified) numpy promotion.
+
+    ``None`` (unknown) absorbs everything — the join of unknown with
+    anything is unknown, keeping the analysis sound-quiet.
+    """
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    ia, ib = DTYPES[a], DTYPES[b]
+    if "f" in (ia.kind, ib.kind):
+        if ia.kind == ib.kind == "f":
+            return f"float{max(ia.bits, ib.bits)}"
+        other = ia if ia.kind != "f" else ib
+        flt = ia if ia.kind == "f" else ib
+        # int32+ mixed with float32 promotes to float64 in numpy
+        if other.kind in "ui" and other.bits >= 32:
+            return "float64"
+        return flt.name
+    if ia.kind == "b":
+        return ib.name
+    if ib.kind == "b":
+        return ia.name
+    if ia.kind == ib.kind:
+        return f"{_LETTER_KINDS[ia.kind]}{max(ia.bits, ib.bits)}"
+    # signed/unsigned mix: the signed type must hold the unsigned range
+    unsigned = ia if ia.kind == "u" else ib
+    signed = ia if ia.kind == "i" else ib
+    bits = max(signed.bits, unsigned.bits * 2)
+    if bits > 64:
+        # numpy resolves uint64+int64 to float64; range-wise that is
+        # effectively unbounded, which float64's info encodes.
+        return "float64"
+    return f"int{bits}"
+
+
+_STRUCT_DTYPE = re.compile(r"^[<>=|]?([biuf])(\d+)$")
+
+
+def _dtype_from_string(text: str) -> Optional[str]:
+    text = text.strip()
+    if text in DTYPES:
+        return text
+    match = _STRUCT_DTYPE.match(text)
+    if match:
+        kind, nbytes = match.group(1), int(match.group(2))
+        if kind == "b":
+            return "bool"
+        name = f"{_LETTER_KINDS[kind]}{nbytes * 8}"
+        return name if name in DTYPES else None
+    aliases = {"float": "float64", "int": "int64", "bool_": "bool",
+               "intp": "int64", "uint": "uint64", "double": "float64",
+               "single": "float32"}
+    return aliases.get(text)
+
+
+def parse_dtype(expr: ast.expr) -> Optional[str]:
+    """The dtype named by an AST expression, or ``None``.
+
+    Understands ``np.int32``, ``numpy.uint64``, bare ``bool``/``int``/
+    ``float``, string forms (``"int32"``, ``"<u4"``), and
+    ``np.dtype(...)`` wrappers.  Anything dynamic is unknown.
+    """
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return _dtype_from_string(expr.value)
+    if isinstance(expr, ast.Attribute):
+        return _dtype_from_string(expr.attr)
+    if isinstance(expr, ast.Name):
+        builtin = {"bool": "bool", "int": "int64", "float": "float64"}
+        if expr.id in builtin:
+            return builtin[expr.id]
+        return _dtype_from_string(expr.id)
+    if (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "dtype" and expr.args):
+        return parse_dtype(expr.args[0])
+    return None
+
+
+# -- the interval domain -----------------------------------------------
+
+#: Widening thresholds: the power-of-two boundaries that matter for
+#: dtype ranges, plus 0/±1 so probability bounds stay exact.  Loop
+#: widening snaps interval endpoints outward onto this finite grid, so
+#: the worklist cannot climb through unboundedly many distinct facts.
+_POWS = (2 ** 7, 2 ** 8, 2 ** 15, 2 ** 16, 2 ** 24, 2 ** 31, 2 ** 32,
+         2 ** 48, 2 ** 53, 2 ** 62, 2 ** 63, 2 ** 64)
+GRID: tuple[Number, ...] = tuple(sorted(
+    {0, 1, -1, math.inf, -math.inf}
+    | {p for p in _POWS} | {p - 1 for p in _POWS}
+    | {-p for p in _POWS} | {-(p - 1) for p in _POWS}))
+
+
+def _grid_down(value: Number) -> Number:
+    best: Number = -math.inf
+    for g in GRID:
+        if g <= value and g > best:
+            best = g
+    return best
+
+
+def _grid_up(value: Number) -> Number:
+    best: Number = math.inf
+    for g in GRID:
+        if g >= value and g < best:
+            best = g
+    return best
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval with exact int endpoints where possible."""
+
+    lo: Number
+    hi: Number
+
+    @classmethod
+    def exact(cls, value: Number) -> "Interval":
+        return cls(value, value)
+
+    @property
+    def finite_hi(self) -> bool:
+        return not math.isinf(self.hi)
+
+    @property
+    def finite_lo(self) -> bool:
+        return not math.isinf(self.lo)
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widened(self) -> "Interval":
+        """Endpoints snapped outward onto the finite widening grid."""
+        return Interval(_grid_down(self.lo), _grid_up(self.hi))
+
+    def clamp(self, lo: Number, hi: Number) -> "Interval":
+        """The interval intersected with (then confined to) ``[lo, hi]``."""
+        return Interval(min(max(self.lo, lo), hi), max(min(self.hi, hi), lo))
+
+    def within(self, lo: Number, hi: Number) -> bool:
+        return self.lo >= lo and self.hi <= hi
+
+    # arithmetic -------------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(_safe_add(self.lo, other.lo),
+                        _safe_add(self.hi, other.hi))
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(_safe_add(self.lo, -other.hi),
+                        _safe_add(self.hi, -other.lo))
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        products = [_safe_mul(a, b)
+                    for a in (self.lo, self.hi)
+                    for b in (other.lo, other.hi)]
+        return Interval(min(products), max(products))
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def floordiv(self, other: "Interval") -> Optional["Interval"]:
+        if other.lo <= 0 <= other.hi:
+            return None
+        quotients = [_safe_div(a, b)
+                     for a in (self.lo, self.hi)
+                     for b in (other.lo, other.hi)]
+        return Interval(math.floor(min(quotients)),
+                        math.floor(max(quotients))
+                        if not math.isinf(max(quotients))
+                        else math.inf)
+
+    def truediv(self, other: "Interval") -> Optional["Interval"]:
+        if other.lo <= 0 <= other.hi:
+            return None
+        quotients = [_safe_div(a, b)
+                     for a in (self.lo, self.hi)
+                     for b in (other.lo, other.hi)]
+        return Interval(min(quotients), max(quotients))
+
+    def mod(self, other: "Interval") -> Optional["Interval"]:
+        """``self % other`` — only bounded when the divisor is provably
+        positive and finite (the common ``x % n_buckets`` shape)."""
+        if other.lo <= 0 or not other.finite_hi:
+            return None
+        hi = other.hi - 1
+        if self.lo >= 0:
+            return Interval(0, hi)
+        return Interval(-hi, hi)
+
+    def lshift(self, other: "Interval") -> Optional["Interval"]:
+        if (other.lo < 0 or not other.finite_hi or other.hi > 256
+                or not isinstance(other.lo, int)
+                or not isinstance(other.hi, int)):
+            return None
+        candidates = [_safe_mul(a, 2 ** s)
+                      for a in (self.lo, self.hi)
+                      for s in (other.lo, other.hi)]
+        return Interval(min(candidates), max(candidates))
+
+    def rshift(self, other: "Interval") -> Optional["Interval"]:
+        if self.lo < 0 or other.lo < 0:
+            return None
+        lo: Number = 0
+        hi = self.hi
+        if (not math.isinf(hi) and isinstance(hi, int)
+                and isinstance(other.lo, int)):
+            hi = hi >> min(other.lo, 512)
+        return Interval(lo, hi)
+
+    def bitand(self, other: "Interval") -> Optional["Interval"]:
+        if self.lo < 0 or other.lo < 0:
+            return None
+        return Interval(0, min(self.hi, other.hi))
+
+    def bitor(self, other: "Interval") -> Optional["Interval"]:
+        if (self.lo < 0 or other.lo < 0
+                or not self.finite_hi or not other.finite_hi):
+            return None
+        bits = max(int(self.hi).bit_length(), int(other.hi).bit_length())
+        return Interval(0, 2 ** bits - 1)
+
+    def power(self, other: "Interval") -> Optional["Interval"]:
+        if (self.lo < 0 or other.lo < 0 or not other.finite_hi
+                or other.hi > 256):
+            return None
+        candidates = [_safe_pow(a, s)
+                      for a in (self.lo, self.hi)
+                      for s in (other.lo, other.hi)]
+        return Interval(min(candidates), max(candidates))
+
+
+def _safe_add(a: Number, b: Number) -> Number:
+    if math.isinf(a):
+        return a
+    if math.isinf(b):
+        return b
+    return a + b
+
+
+def _safe_mul(a: Number, b: Number) -> Number:
+    # 0 * inf is 0 for bound purposes (the zero endpoint wins)
+    if a == 0 or b == 0:
+        return 0
+    if math.isinf(a) or math.isinf(b):
+        return math.inf if (a > 0) == (b > 0) else -math.inf
+    return a * b
+
+
+def _safe_div(a: Number, b: Number) -> Number:
+    if math.isinf(b):
+        return 0
+    if math.isinf(a):
+        return math.inf if (a > 0) == (b > 0) else -math.inf
+    return a / b
+
+
+def _safe_pow(a: Number, s: Number) -> Number:
+    if math.isinf(a):
+        return math.inf
+    try:
+        return a ** s
+    except OverflowError:
+        return math.inf
+
+
+# -- abstract values ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """One abstract value: a dtype (or unknown), an interval (or
+    unknown), and a provenance tag.
+
+    ``origin`` is ``"uniform"`` for a uniform [0, 1) draw (the RPL813
+    comparison sites key on it) or ``"call:<chain>"`` for the result of
+    an unresolved call — the hook the deferred cross-module checks hang
+    from.  Empty otherwise.
+    """
+
+    dtype: Optional[str] = None
+    interval: Optional[Interval] = None
+    origin: str = ""
+
+    @property
+    def known(self) -> bool:
+        return self.interval is not None
+
+    def hull(self, other: "AbsVal") -> "AbsVal":
+        interval = None
+        if self.interval is not None and other.interval is not None:
+            interval = self.interval.hull(other.interval)
+        origin = self.origin if self.origin == other.origin else ""
+        return AbsVal(promote(self.dtype, other.dtype), interval, origin)
+
+
+UNKNOWN = AbsVal()
+
+
+# -- constant evaluation ------------------------------------------------
+
+_CONST_BINOPS = (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Div,
+                 ast.Mod, ast.Pow, ast.LShift, ast.RShift, ast.BitOr,
+                 ast.BitAnd, ast.BitXor)
+
+
+def const_value(expr: ast.expr,
+                env: Optional[dict[str, Number]] = None) -> Optional[Number]:
+    """Evaluate a compile-time-constant numeric expression, or ``None``.
+
+    Handles the shapes module-level constants take in this repo:
+    ``(1 << 48) - 1``, ``2 ** SCALE``, negated literals, and references
+    to previously evaluated constants via ``env``.
+    """
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, bool):
+            return int(expr.value)
+        if isinstance(expr.value, (int, float)):
+            return expr.value
+        return None
+    if isinstance(expr, ast.Name):
+        return None if env is None else env.get(expr.id)
+    if isinstance(expr, ast.UnaryOp):
+        operand = const_value(expr.operand, env)
+        if operand is None:
+            return None
+        if isinstance(expr.op, ast.USub):
+            return -operand
+        if isinstance(expr.op, ast.UAdd):
+            return operand
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, _CONST_BINOPS):
+        left = const_value(expr.left, env)
+        right = const_value(expr.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(expr.op, ast.Add):
+                return left + right
+            if isinstance(expr.op, ast.Sub):
+                return left - right
+            if isinstance(expr.op, ast.Mult):
+                return left * right
+            if isinstance(expr.op, ast.FloorDiv):
+                return left // right
+            if isinstance(expr.op, ast.Div):
+                return left / right
+            if isinstance(expr.op, ast.Mod):
+                return left % right
+            if isinstance(expr.op, ast.Pow):
+                if abs(right) > 256:
+                    return None
+                return left ** right
+            if isinstance(left, int) and isinstance(right, int):
+                if isinstance(expr.op, ast.LShift) and 0 <= right <= 256:
+                    return left << right
+                if isinstance(expr.op, ast.RShift) and 0 <= right <= 512:
+                    return left >> right
+                if isinstance(expr.op, ast.BitOr):
+                    return left | right
+                if isinstance(expr.op, ast.BitAnd):
+                    return left & right
+                if isinstance(expr.op, ast.BitXor):
+                    return left ^ right
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None
+    return None
+
+
+def module_constants(tree: ast.Module) -> dict[str, Number]:
+    """Module-level ``NAME = <const expr>`` bindings, evaluated exactly.
+
+    Names reassigned to a non-constant later are dropped (the binding is
+    no longer a constant fact).
+    """
+    env: dict[str, Number] = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            result = const_value(value, env)
+            if result is None:
+                env.pop(target.id, None)
+            else:
+                env[target.id] = result
+    return env
+
+
+# -- the assume pragma --------------------------------------------------
+
+_ASSUME = re.compile(
+    r"#\s*reprolint:\s*assume\(\s*([A-Za-z_]\w*)\s*,([^,]+),(.+?)\)\s*$")
+
+
+@dataclass(frozen=True)
+class AssumeRecord:
+    """One ``# reprolint: assume(x, lo, hi)`` pragma, parsed and bound.
+
+    The pragma asserts an externally-known bound the analysis cannot
+    derive (a file-format invariant, a validated argument): after the
+    statement on its line executes, ``x`` lies in ``[lo, hi]``.  An
+    assume that never lands on an analyzed statement is dead (RPL814).
+    """
+
+    line: int
+    name: str
+    lo: Number
+    hi: Number
+
+    def to_json(self) -> list[object]:
+        return [self.line, self.name, self.lo, self.hi]
+
+    @classmethod
+    def from_json(cls, doc: Iterable[object]) -> "AssumeRecord":
+        line, name, lo, hi = list(doc)
+        return cls(int(line), str(name), _num(lo), _num(hi))
+
+
+def _num(value: object) -> Number:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    return float(str(value))
+
+
+def _parse_bound(text: str, env: dict[str, Number]) -> Optional[Number]:
+    try:
+        expr = ast.parse(text.strip(), mode="eval").body
+    except SyntaxError:
+        return None
+    return const_value(expr, env)
+
+
+def scan_assumes(text: str,
+                 env: Optional[dict[str, Number]] = None
+                 ) -> list[AssumeRecord]:
+    """Parse every assume pragma from ``text``'s comment tokens.
+
+    Bounds are constant expressions (``2**48 - 1`` is fine) evaluated
+    against the module constant environment, so an assume can reference
+    the same named limits the code uses.  Malformed bounds are ignored
+    (a typo must not silently widen the domain).
+    """
+    env = env or {}
+    try:
+        comments = [(tok.start[0], tok.string) for tok in
+                    tokenize.generate_tokens(io.StringIO(text).readline)
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = []
+    records: list[AssumeRecord] = []
+    for lineno, comment in comments:
+        match = _ASSUME.search(comment)
+        if not match:
+            continue
+        lo = _parse_bound(match.group(2), env)
+        hi = _parse_bound(match.group(3), env)
+        if lo is None or hi is None or lo > hi:
+            continue
+        records.append(AssumeRecord(lineno, match.group(1), lo, hi))
+    return records

@@ -1,0 +1,1274 @@
+"""The RPL8xx scale-soundness family: dtype & value-range analysis.
+
+An abstract interpretation over the numeric domains of
+:mod:`~repro.devtools.engine.domains`, run function-by-function on the
+existing CFG/dataflow worklist.  Facts bind a local variable to an
+:class:`~repro.devtools.engine.domains.AbsVal` — a numpy dtype, an
+interval, and a provenance tag — propagated through assignments, numpy
+constructors, ufunc arithmetic, ``astype`` casts, and (within a module)
+function return values.  Intervals are seeded from module-level
+constants (``MAX_ID = (1 << 48) - 1`` evaluates exactly), from the
+config's interval-seed table (``scale``, ``block_size``, degree caps,
+probabilities), and from ``# reprolint: assume(x, lo, hi)`` pragmas.
+
+The rules, all **provability-gated** — a value with no positively
+derived finite bound never flags:
+
+- **RPL810** — a narrowing cast (``astype``/``np.asarray(dtype=...)``/
+  ``np.int32(x)``) whose operand interval provably exceeds the target
+  dtype's range.  At trillion scale that is an ID truncation no
+  affordable test reproduces.
+- **RPL811** — a default-dtype numpy constructor (``np.arange`` /
+  ``np.zeros`` / ``np.empty`` / ``np.ones`` / ``np.full``) in the ID
+  path packages: ``np.arange`` defaults to the *platform* integer
+  (``int32`` on Windows), so scale > 31 silently wraps.
+- **RPL812** — accumulation (``.sum()``/``np.cumsum``/``+=`` in a
+  loop) on a ≤ 32-bit integer dtype where the value bound times the
+  assumed element count overflows the accumulator.
+- **RPL813** — a value flowing into a Bernoulli site (compared against
+  a uniform [0, 1) draw, or passed as ``p`` to ``binomial`` /
+  ``geometric``) whose interval is provably not within [0, 1].
+- **RPL814** — a dead ``assume`` pragma: one that never landed on an
+  analyzed statement, so it constrains nothing (the assume analogue of
+  the RPL701 dead-pragma rule).
+
+Casts and probability sites whose operand came from an *unresolved
+call* are recorded as deferred checks in the module summary; the
+``numeric-interface`` project checker resolves them through the
+project call graph against the callee's summarized return facts, so a
+function in ``repro.core`` returning 48-bit IDs flags an ``int32``
+cast in ``repro.formats`` without either file seeing the other.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Iterable, Iterator, Optional
+
+from ..framework import (Checker, LintConfig, ProjectChecker, SourceFile,
+                         register_checker, register_project_checker)
+from .cfg import CFGNode, FunctionLike, build_cfg, node_fragments
+from .dataflow import ForwardAnalysis, run_forward
+from .domains import (DTYPES, AbsVal, AssumeRecord, Interval, Number,
+                      UNKNOWN, dtype_range, module_constants, parse_dtype,
+                      promote, scan_assumes)
+from .flow_checkers import (_assign_value, _chain, _kills,
+                            _simple_assign_target)
+
+__all__ = ["NumericSoundnessChecker", "NumericInterfaceChecker",
+           "ModuleNumerics", "analyze_module"]
+
+#: Per-variable fact cap before the join collapses to a widened hull.
+#: Any *distinct* facts for one name mean control flow disagrees about
+#: its value — at a loop header that disagreement recurs every
+#: iteration (seed fact vs. back-edge fact), so the join must widen
+#: immediately or a growing bound climbs forever and the step cap
+#: leaves a non-converged finite interval behind.  The grid contains
+#: every dtype boundary, so widening never pushes a hull across a
+#: range limit the exact hull did not already cross.
+_FACTS_PER_NAME = 1
+
+#: Worklist budget per CFG: generous for real code, final for
+#: adversarial fixtures (partial results only under-approximate).
+_STEPS_PER_NODE = 48
+
+#: Constructors RPL811 requires an explicit dtype for.  ``*_like``
+#: variants inherit their dtype and are exempt; ``np.array`` infers
+#: from data by design.
+_DEFAULT_DTYPE_CTORS = {"arange": 3, "zeros": 1, "empty": 1, "ones": 1,
+                        "full": 2}   # name -> dtype positional index
+
+#: Methods whose result carries the receiver's value facts through.
+_PASSTHROUGH_METHODS = frozenset(
+    {"copy", "reshape", "ravel", "flatten", "repeat", "take", "compress",
+     "squeeze", "transpose", "item"})
+
+#: numpy functions whose result carries the first argument through.
+_PASSTHROUGH_FUNCS = frozenset(
+    {"ascontiguousarray", "unique", "sort", "ravel", "repeat", "tile",
+     "flip", "atleast_1d", "broadcast_to"})
+
+_UNIFORM_TAILS = frozenset({"random"})
+
+_FLOAT_DRAWS = frozenset({"normal", "standard_normal", "exponential",
+                          "lognormal", "gumbel", "laplace", "logistic",
+                          "standard_exponential", "beta", "gamma",
+                          "dirichlet", "triangular", "vonmises", "wald"})
+
+_ORDERED_CMP = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _pos_node(line: int, col: int) -> ast.AST:
+    node = ast.Pass()
+    node.lineno = line
+    node.col_offset = col
+    return node
+
+
+def _in_scope(module: str, prefixes: Iterable[str]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+def _walk_exprs(root: ast.AST) -> Iterator[ast.AST]:
+    """Like :func:`ast.walk` but does not descend into nested function
+    or class bodies — those are analyzed with their own CFG and env."""
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (*FunctionLike, ast.ClassDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _stmt_span(node: CFGNode) -> tuple[int, int]:
+    """Line span an assume pragma matches for this node: the full span
+    for simple statements, the header line only for compound headers
+    (so an assume deep inside a loop body does not hit the ``for``)."""
+    stmt = node.stmt
+    assert stmt is not None
+    line = getattr(stmt, "lineno", 0)
+    if node.kind in ("stmt", "return", "raise"):
+        return line, getattr(stmt, "end_lineno", line) or line
+    return line, line
+
+
+def _loop_stmt_ids(func: ast.AST) -> set[int]:
+    """ids of statements that execute under a loop within ``func``."""
+    ids: set[int] = set()
+    for node in _walk_exprs(func):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            for stmt in list(node.body) + list(node.orelse):
+                for sub in _walk_exprs(stmt):
+                    ids.add(id(sub))
+    return ids
+
+
+# -- evaluation context -------------------------------------------------
+
+
+class _Ctx:
+    """Read-only environment shared by every evaluation in one module."""
+
+    def __init__(self, config: LintConfig,
+                 consts: dict[str, Number],
+                 local_funcs: dict[str, AbsVal]) -> None:
+        self.config = config
+        self.consts = consts
+        self.local_funcs = local_funcs
+
+
+def _seed_params(func: ast.AST, ctx: _Ctx) -> dict[str, AbsVal]:
+    """Parameter seeds from the interval-seed table and the probability
+    name patterns (both from config)."""
+    assert isinstance(func, FunctionLike)
+    seeds: dict[str, AbsVal] = {}
+    args = func.args
+    names = [a.arg for a in
+             args.posonlyargs + args.args + args.kwonlyargs]
+    for index, name in enumerate(names):
+        if index == 0 and name in ("self", "cls"):
+            continue
+        bounds = ctx.config.interval_seeds.get(name)
+        if bounds is not None:
+            seeds[name] = AbsVal(None, Interval(bounds[0], bounds[1]))
+        elif any(pat in name for pat
+                 in ctx.config.probability_name_patterns):
+            seeds[name] = AbsVal(None, Interval(0.0, 1.0))
+    return seeds
+
+
+# -- the abstract evaluator ---------------------------------------------
+
+
+def _eval(expr: ast.expr, env: dict[str, AbsVal], ctx: _Ctx) -> AbsVal:
+    if isinstance(expr, ast.Constant):
+        value = expr.value
+        if isinstance(value, bool):
+            return AbsVal("bool", Interval.exact(int(value)))
+        if isinstance(value, (int, float)):
+            return AbsVal(None, Interval.exact(value))
+        return UNKNOWN
+    if isinstance(expr, ast.Name):
+        val = env.get(expr.id)
+        if val is not None:
+            return val
+        const = ctx.consts.get(expr.id)
+        if const is not None:
+            return AbsVal(None, Interval.exact(const))
+        return UNKNOWN
+    if isinstance(expr, ast.BinOp):
+        return _eval_binop(expr, env, ctx)
+    if isinstance(expr, ast.UnaryOp):
+        operand = _eval(expr.operand, env, ctx)
+        if isinstance(expr.op, ast.USub) and operand.known:
+            assert operand.interval is not None
+            return AbsVal(operand.dtype, -operand.interval)
+        if isinstance(expr.op, ast.Not):
+            return AbsVal("bool", Interval(0, 1))
+        return UNKNOWN
+    if isinstance(expr, ast.Compare):
+        return AbsVal("bool", Interval(0, 1))
+    if isinstance(expr, ast.Call):
+        return _eval_call(expr, env, ctx)
+    if isinstance(expr, ast.Subscript):
+        # indexing/masking an array keeps element dtype, bounds, and
+        # provenance (``r[:, None]`` is still the uniform draw)
+        return _eval(expr.value, env, ctx)
+    if isinstance(expr, ast.Attribute):
+        if expr.attr == "size":
+            return AbsVal("int64", Interval(0, math.inf))
+        if expr.attr == "T":
+            return _eval(expr.value, env, ctx)
+        return UNKNOWN
+    if isinstance(expr, ast.IfExp):
+        return _eval(expr.body, env, ctx).hull(
+            _eval(expr.orelse, env, ctx))
+    if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+        vals = [_eval(el, env, ctx) for el in expr.elts]
+        if vals and all(v.known for v in vals):
+            out = vals[0]
+            for v in vals[1:]:
+                out = out.hull(v)
+            return out
+        return UNKNOWN
+    return UNKNOWN
+
+
+def _eval_binop(expr: ast.BinOp, env: dict[str, AbsVal],
+                ctx: _Ctx) -> AbsVal:
+    left = _eval(expr.left, env, ctx)
+    right = _eval(expr.right, env, ctx)
+    dtype = promote(left.dtype, right.dtype)
+    if isinstance(expr.op, ast.Div):
+        dtype = "float64" if dtype is not None else None
+    if not left.known or not right.known:
+        return AbsVal(dtype, None)
+    a, b = left.interval, right.interval
+    assert a is not None and b is not None
+    interval: Optional[Interval]
+    if isinstance(expr.op, ast.Add):
+        interval = a + b
+    elif isinstance(expr.op, ast.Sub):
+        interval = a - b
+    elif isinstance(expr.op, ast.Mult):
+        interval = a * b
+    elif isinstance(expr.op, ast.FloorDiv):
+        interval = a.floordiv(b)
+    elif isinstance(expr.op, ast.Div):
+        interval = a.truediv(b)
+    elif isinstance(expr.op, ast.Mod):
+        interval = a.mod(b)
+    elif isinstance(expr.op, ast.LShift):
+        interval = a.lshift(b)
+    elif isinstance(expr.op, ast.RShift):
+        interval = a.rshift(b)
+    elif isinstance(expr.op, ast.BitAnd):
+        interval = a.bitand(b)
+    elif isinstance(expr.op, ast.BitOr):
+        interval = a.bitor(b)
+    elif isinstance(expr.op, ast.BitXor):
+        interval = a.bitor(b)   # same conservative bit-length bound
+    elif isinstance(expr.op, ast.Pow):
+        interval = a.power(b)
+    else:
+        interval = None
+    return AbsVal(dtype, interval)
+
+
+def _axis_arg(call: ast.Call, positional: int) -> Optional[ast.expr]:
+    """The ``axis`` argument of a reduction, if any.
+
+    An axis-reduction accumulates over one dimension whose length the
+    analysis cannot bound, so RPL812 stays quiet on it — the rule
+    targets full reductions whose element count scales with the graph.
+    """
+    for kw in call.keywords:
+        if kw.arg == "axis":
+            if (isinstance(kw.value, ast.Constant)
+                    and kw.value.value is None):
+                return None
+            return kw.value
+    if len(call.args) > positional:
+        return call.args[positional]
+    return None
+
+
+def _dtype_kwarg(call: ast.Call,
+                 positional: Optional[int] = None) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    if positional is not None and len(call.args) > positional:
+        return call.args[positional]
+    return None
+
+
+def _cast_result(operand: AbsVal, target: str) -> AbsVal:
+    """Post-cast value: the interval survives only when it provably
+    fits (an overflowing cast wraps, so nothing is known after it)."""
+    lo, hi = dtype_range(target)
+    if (operand.interval is not None and operand.interval.finite_lo
+            and operand.interval.finite_hi
+            and operand.interval.within(lo, hi)):
+        return AbsVal(target, operand.interval)
+    return AbsVal(target, None)
+
+
+def _eval_rng_draw(call: ast.Call, tail: str, env: dict[str, AbsVal],
+                   ctx: _Ctx) -> AbsVal:
+    if tail in _UNIFORM_TAILS:
+        return AbsVal("float64", Interval(0.0, 1.0), "uniform")
+    if tail == "uniform":
+        if not call.args:
+            return AbsVal("float64", Interval(0.0, 1.0), "uniform")
+        if len(call.args) >= 2:
+            a = _eval(call.args[0], env, ctx)
+            b = _eval(call.args[1], env, ctx)
+            if a.known and b.known:
+                assert a.interval is not None and b.interval is not None
+                hull = a.interval.hull(b.interval)
+                origin = ("uniform" if hull.lo == 0 and hull.hi == 1
+                          else "")
+                return AbsVal("float64", hull, origin)
+        return AbsVal("float64", None)
+    if tail == "integers":
+        if len(call.args) == 1:
+            stop = _eval(call.args[0], env, ctx)
+            if stop.known:
+                assert stop.interval is not None
+                return AbsVal("int64", Interval(0, stop.interval.hi - 1))
+        elif len(call.args) >= 2:
+            lo = _eval(call.args[0], env, ctx)
+            hi = _eval(call.args[1], env, ctx)
+            endpoint = any(kw.arg == "endpoint" and
+                           isinstance(kw.value, ast.Constant) and
+                           kw.value.value is True
+                           for kw in call.keywords)
+            if lo.known and hi.known:
+                assert lo.interval is not None and hi.interval is not None
+                upper = hi.interval.hi if endpoint else hi.interval.hi - 1
+                return AbsVal("int64", Interval(lo.interval.lo, upper))
+        return AbsVal("int64", None)
+    if tail == "binomial" and call.args:
+        n = _eval(call.args[0], env, ctx)
+        if n.known:
+            assert n.interval is not None
+            return AbsVal("int64", Interval(0, n.interval.hi))
+        return AbsVal("int64", None)
+    if tail == "geometric":
+        return AbsVal("int64", Interval(1, math.inf))
+    if tail == "poisson":
+        return AbsVal("int64", Interval(0, math.inf))
+    if tail == "permutation" and call.args:
+        n = _eval(call.args[0], env, ctx)
+        if n.known:
+            assert n.interval is not None
+            return AbsVal("int64", Interval(0, n.interval.hi - 1))
+        return AbsVal("int64", None)
+    if tail in ("choice", "permuted"):
+        if call.args:
+            source = _eval(call.args[0], env, ctx)
+            return AbsVal(source.dtype, source.interval)
+        return UNKNOWN
+    if tail in _FLOAT_DRAWS:
+        return AbsVal("float64", None)
+    return UNKNOWN
+
+
+def _eval_np_func(call: ast.Call, tail: str, env: dict[str, AbsVal],
+                  ctx: _Ctx) -> AbsVal:
+    def arg(i: int) -> Optional[AbsVal]:
+        return _eval(call.args[i], env, ctx) if len(call.args) > i else None
+
+    if tail in _DEFAULT_DTYPE_CTORS:
+        dtype_expr = _dtype_kwarg(call, _DEFAULT_DTYPE_CTORS[tail])
+        dtype = parse_dtype(dtype_expr) if dtype_expr is not None else None
+        if tail == "zeros":
+            return AbsVal(dtype or "float64", Interval.exact(0))
+        if tail == "ones":
+            return AbsVal(dtype or "float64", Interval.exact(1))
+        if tail == "empty":
+            return AbsVal(dtype or "float64", None)
+        if tail == "full":
+            fill = arg(1)
+            interval = fill.interval if fill is not None else None
+            return AbsVal(dtype, interval)
+        # arange: element range from the numeric arguments
+        first, second = arg(0), arg(1)
+        if second is not None and first is not None:
+            if first.known and second.known:
+                assert first.interval is not None
+                assert second.interval is not None
+                return AbsVal(dtype, Interval(
+                    min(first.interval.lo, second.interval.lo),
+                    max(second.interval.hi - 1, first.interval.lo)))
+        elif first is not None and first.known:
+            assert first.interval is not None
+            return AbsVal(dtype, Interval(0, first.interval.hi - 1))
+        return AbsVal(dtype, None)
+    if tail.endswith("_like") and tail[:-5] in _DEFAULT_DTYPE_CTORS:
+        base = arg(0)
+        dtype_expr = _dtype_kwarg(call)
+        dtype = (parse_dtype(dtype_expr) if dtype_expr is not None
+                 else (base.dtype if base is not None else None))
+        if tail == "zeros_like":
+            return AbsVal(dtype, Interval.exact(0))
+        if tail == "ones_like":
+            return AbsVal(dtype, Interval.exact(1))
+        if tail == "full_like":
+            fill = arg(1)
+            return AbsVal(dtype, fill.interval if fill else None)
+        return AbsVal(dtype, None)
+    if tail in ("array", "asarray"):
+        base = arg(0) or UNKNOWN
+        dtype_expr = _dtype_kwarg(call, 1)
+        if dtype_expr is not None:
+            target = parse_dtype(dtype_expr)
+            if target is not None:
+                return _cast_result(base, target)
+            return UNKNOWN
+        return base
+    if tail in _PASSTHROUGH_FUNCS:
+        return arg(0) or UNKNOWN
+    if tail in ("minimum", "maximum", "fmin", "fmax"):
+        vals = [v for v in (arg(0), arg(1)) if v is not None]
+        return _eval_minmax(tail in ("minimum", "fmin"), vals)
+    if tail == "clip":
+        return _eval_clip(arg(0), arg(1), arg(2))
+    if tail in ("abs", "absolute", "fabs"):
+        return _eval_abs(arg(0))
+    if tail in ("rint", "floor", "ceil", "round", "trunc", "around"):
+        base = arg(0)
+        if base is not None and base.known:
+            assert base.interval is not None
+            return AbsVal(base.dtype, _outward_int(base.interval))
+        return AbsVal(base.dtype if base else None, None)
+    if tail == "sqrt":
+        base = arg(0)
+        if (base is not None and base.known
+                and base.interval is not None and base.interval.lo >= 0):
+            return AbsVal("float64", Interval(
+                math.sqrt(base.interval.lo),
+                math.sqrt(base.interval.hi)
+                if base.interval.finite_hi else math.inf))
+        return AbsVal("float64", None)
+    if tail == "where":
+        a, b = arg(1), arg(2)
+        if a is not None and b is not None:
+            return a.hull(b)
+        return UNKNOWN
+    if tail in ("concatenate", "hstack", "vstack", "stack"):
+        return arg(0) or UNKNOWN
+    if tail == "bitwise_count":
+        return AbsVal("uint8", Interval(0, 64))
+    if tail in DTYPES:
+        # ``np.int32(x)`` — a scalar cast; the site check lives in
+        # ``_check_call``, this is just the result value
+        base = arg(0)
+        return _cast_result(base or UNKNOWN, tail)
+    if tail in ("sum", "cumsum"):
+        base = arg(0)
+        dtype_expr = _dtype_kwarg(call)
+        acc = parse_dtype(dtype_expr) if dtype_expr is not None else None
+        if acc is None and base is not None and base.dtype is not None:
+            info = DTYPES[base.dtype]
+            acc = ("int64" if info.kind in "bui" and info.bits <= 64
+                   else base.dtype)
+        return AbsVal(acc, None)
+    return UNKNOWN
+
+
+def _outward_int(interval: Interval) -> Interval:
+    lo = (math.floor(interval.lo) if interval.finite_lo else -math.inf)
+    hi = (math.ceil(interval.hi) if interval.finite_hi else math.inf)
+    return Interval(lo, hi)
+
+
+def _eval_minmax(is_min: bool, vals: list[AbsVal]) -> AbsVal:
+    known = [v.interval for v in vals if v.interval is not None]
+    if not known:
+        return UNKNOWN
+    dtype = vals[0].dtype
+    for v in vals[1:]:
+        dtype = promote(dtype, v.dtype)
+    if is_min:
+        hi: Number = min(iv.hi for iv in known)
+        lo: Number = (min(iv.lo for iv in known)
+                      if len(known) == len(vals) else -math.inf)
+    else:
+        lo = max(iv.lo for iv in known)
+        hi = (max(iv.hi for iv in known)
+              if len(known) == len(vals) else math.inf)
+    return AbsVal(dtype, Interval(lo, hi))
+
+
+def _eval_clip(base: Optional[AbsVal], lo_val: Optional[AbsVal],
+               hi_val: Optional[AbsVal]) -> AbsVal:
+    if (lo_val is None or hi_val is None
+            or lo_val.interval is None or hi_val.interval is None):
+        return base or UNKNOWN
+    lower = lo_val.interval.lo
+    upper = hi_val.interval.hi
+    if base is not None and base.interval is not None:
+        return AbsVal(base.dtype, base.interval.clamp(lower, upper))
+    return AbsVal(base.dtype if base else None, Interval(lower, upper))
+
+
+def _eval_abs(base: Optional[AbsVal]) -> AbsVal:
+    if base is None or base.interval is None:
+        return AbsVal(base.dtype if base else None, None)
+    iv = base.interval
+    if iv.lo >= 0:
+        return base
+    hi = max(abs(iv.lo), abs(iv.hi)) if iv.finite_lo and iv.finite_hi \
+        else math.inf
+    return AbsVal(base.dtype, Interval(0, hi))
+
+
+def _eval_call(call: ast.Call, env: dict[str, AbsVal],
+               ctx: _Ctx) -> AbsVal:
+    chain = _chain(call.func)
+    tail = chain.split(".")[-1] if chain else None
+    head = chain.split(".")[0] if chain else None
+
+    if isinstance(call.func, ast.Attribute):
+        method = call.func.attr
+        if method == "astype":
+            dtype_expr = call.args[0] if call.args else _dtype_kwarg(call)
+            target = (parse_dtype(dtype_expr)
+                      if dtype_expr is not None else None)
+            operand = _eval(call.func.value, env, ctx)
+            if target is not None:
+                return _cast_result(operand, target)
+            return UNKNOWN
+        if method in _PASSTHROUGH_METHODS:
+            return _eval(call.func.value, env, ctx)
+        if method == "clip":
+            base = _eval(call.func.value, env, ctx)
+            lo = _eval(call.args[0], env, ctx) if call.args else None
+            hi = (_eval(call.args[1], env, ctx)
+                  if len(call.args) > 1 else None)
+            return _eval_clip(base, lo, hi)
+        if method in ("sum", "cumsum"):
+            fake = ast.Call(func=ast.Name(id="sum", ctx=ast.Load()),
+                            args=[call.func.value], keywords=call.keywords)
+            return _eval_np_func(fake, method, env, ctx)
+        if method in ("max", "min"):
+            return _eval(call.func.value, env, ctx)
+        if method in ctx.config.rng_draw_methods:
+            return _eval_rng_draw(call, method, env, ctx)
+
+    if head in ("np", "numpy") and tail is not None and chain is not None:
+        if chain.count(".") <= 2:
+            return _eval_np_func(call, tail, env, ctx)
+
+    if chain is not None and "." not in chain:
+        if chain in ("min", "max") and len(call.args) >= 2:
+            vals = [_eval(a, env, ctx) for a in call.args]
+            return _eval_minmax(chain == "min", vals)
+        if chain == "abs" and call.args:
+            return _eval_abs(_eval(call.args[0], env, ctx))
+        if chain == "len":
+            return AbsVal("int64", Interval(0, math.inf))
+        if chain in ("int", "round") and call.args:
+            base = _eval(call.args[0], env, ctx)
+            if base.known:
+                assert base.interval is not None
+                return AbsVal(None, _outward_int(base.interval))
+            return UNKNOWN
+        if chain == "float" and call.args:
+            base = _eval(call.args[0], env, ctx)
+            return AbsVal(None, base.interval)
+        if chain == "bool":
+            return AbsVal("bool", Interval(0, 1))
+        local = ctx.local_funcs.get(chain)
+        if local is not None:
+            return local
+
+    if chain is not None and "." in chain:
+        first, rest = chain.split(".", 1)
+        if first in ("self", "cls") and "." not in rest:
+            local = ctx.local_funcs.get(f"<method>{rest}")
+            if local is not None:
+                return local
+
+    if chain is not None and not chain.startswith("<call>"):
+        return AbsVal(None, None, f"call:{chain}")
+    return UNKNOWN
+
+
+# -- the dataflow analysis ---------------------------------------------
+
+# fact shape: ("v", name, dtype, lo, hi, origin); lo is None when the
+# interval is unknown.
+
+
+def _fact(name: str, val: AbsVal) -> Optional[tuple]:
+    if val.dtype is None and val.interval is None and not val.origin:
+        return None
+    if val.interval is None:
+        return ("v", name, val.dtype, None, None, val.origin)
+    return ("v", name, val.dtype, val.interval.lo, val.interval.hi,
+            val.origin)
+
+
+def _val_of(fact: tuple) -> AbsVal:
+    _, _name, dtype, lo, hi, origin = fact
+    interval = None if lo is None else Interval(lo, hi)
+    return AbsVal(dtype, interval, origin)
+
+
+def _env_of(facts: Iterable[tuple]) -> dict[str, AbsVal]:
+    env: dict[str, AbsVal] = {}
+    for fact in facts:
+        val = _val_of(fact)
+        prev = env.get(fact[1])
+        env[fact[1]] = val if prev is None else prev.hull(val)
+    return env
+
+
+class _NumericAnalysis(ForwardAnalysis):
+    """Gen/kill over numeric facts; checks run in a post-pass."""
+
+    def __init__(self, ctx: _Ctx, seeds: dict[str, AbsVal],
+                 assumes: list[AssumeRecord],
+                 used_assumes: set[int],
+                 skip_defs: bool = False) -> None:
+        self.ctx = ctx
+        self.seeds = seeds
+        self.assumes = assumes
+        self.used_assumes = used_assumes
+        self.skip_defs = skip_defs
+
+    def boundary(self):  # type: ignore[override]
+        facts = []
+        for name, val in self.seeds.items():
+            fact = _fact(name, val)
+            if fact is not None:
+                facts.append(fact)
+        return frozenset(facts)
+
+    def join(self, sets):  # type: ignore[override]
+        merged: set[tuple] = set()
+        for facts in sets:
+            merged |= facts
+        by_name: dict[str, list[tuple]] = {}
+        for fact in merged:
+            by_name.setdefault(fact[1], []).append(fact)
+        out: set[tuple] = set()
+        for name, facts in by_name.items():
+            if len(facts) <= _FACTS_PER_NAME:
+                out.update(facts)
+                continue
+            val = _val_of(facts[0])
+            for fact in facts[1:]:
+                val = val.hull(_val_of(fact))
+            if val.interval is not None:
+                val = AbsVal(val.dtype, val.interval.widened(), val.origin)
+            collapsed = _fact(name, val)
+            if collapsed is not None:
+                out.add(collapsed)
+        return frozenset(out)
+
+    def transfer(self, node, facts):  # type: ignore[override]
+        stmt = node.stmt
+        if self.skip_defs and isinstance(stmt, (*FunctionLike,
+                                                ast.ClassDef)):
+            return facts
+        out = set(facts)
+        for name in _kills(node):
+            out -= {f for f in out if f[1] == name}
+
+        env = _env_of(facts)
+        if node.kind == "stmt" and isinstance(stmt, ast.AugAssign):
+            self._transfer_aug(stmt, env, out)
+        elif node.kind == "stmt" and isinstance(stmt,
+                                                (ast.Assign, ast.AnnAssign)):
+            target = _simple_assign_target(node)
+            value = _assign_value(node)
+            if target is not None and value is not None:
+                self._gen(out, target, _eval(value, env, self.ctx))
+        elif (node.kind == "loop"
+                and isinstance(stmt, (ast.For, ast.AsyncFor))
+                and isinstance(stmt.target, ast.Name)):
+            self._gen(out, stmt.target.id,
+                      self._loop_element(stmt.iter, env))
+
+        if stmt is not None and self.assumes:
+            lo_line, hi_line = _stmt_span(node)
+            if node.kind != "with_end":
+                for rec in self.assumes:
+                    if lo_line <= rec.line <= hi_line:
+                        self._apply_assume(out, rec)
+        return frozenset(out)
+
+    @staticmethod
+    def _gen(out: set, name: str, val: AbsVal) -> None:
+        fact = _fact(name, val)
+        if fact is not None:
+            out.add(fact)
+
+    def _transfer_aug(self, stmt: ast.AugAssign,
+                      env: dict[str, AbsVal], out: set) -> None:
+        if not isinstance(stmt.target, ast.Name):
+            return
+        name = stmt.target.id
+        old = env.get(name)
+        out -= {f for f in out if f[1] == name}
+        if old is None:
+            return
+        fake = ast.BinOp(left=ast.Name(id=name, ctx=ast.Load()),
+                         op=stmt.op, right=stmt.value)
+        ast.copy_location(fake, stmt)
+        ast.copy_location(fake.left, stmt)
+        self._gen(out, name, _eval_binop(fake, env, self.ctx))
+
+    def _loop_element(self, iter_expr: ast.expr,
+                      env: dict[str, AbsVal]) -> AbsVal:
+        if isinstance(iter_expr, ast.Call):
+            chain = _chain(iter_expr.func)
+            if chain == "range" and iter_expr.args:
+                vals = [_eval(a, env, self.ctx) for a in iter_expr.args]
+                if all(v.known for v in vals):
+                    ivs = [v.interval for v in vals]
+                    assert all(iv is not None for iv in ivs)
+                    if len(ivs) == 1:
+                        return AbsVal(None, Interval(0, ivs[0].hi - 1))  # type: ignore[union-attr]
+                    return AbsVal(None, Interval(
+                        ivs[0].lo, ivs[1].hi - 1))  # type: ignore[union-attr]
+                return UNKNOWN
+        return _eval(iter_expr, env, self.ctx)
+
+    def _apply_assume(self, out: set, rec: AssumeRecord) -> None:
+        dtype: Optional[str] = None
+        for fact in list(out):
+            if fact[1] == rec.name:
+                dtype = promote(dtype, fact[2]) if dtype else fact[2]
+                out.discard(fact)
+        out.add(("v", rec.name, dtype, rec.lo, rec.hi, ""))
+        self.used_assumes.add(rec.line)
+
+
+# -- per-module analysis ------------------------------------------------
+
+
+class ModuleNumerics:
+    """Everything the numeric analysis derives for one module."""
+
+    def __init__(self) -> None:
+        #: function qualname -> summarized return value
+        self.functions: dict[str, AbsVal] = {}
+        #: (line, col, code, message) candidate flags, pragma-unfiltered
+        self.flags: list[tuple[int, int, str, str]] = []
+        #: deferred cross-module checks for the project pass
+        self.deferred: list[dict] = []
+        self.assumes: list[AssumeRecord] = []
+        self.dead_assumes: list[AssumeRecord] = []
+
+    def summary_doc(self) -> dict:
+        """The JSON-stable slice embedded in the ModuleSummary."""
+        functions: dict[str, list] = {}
+        for qual, val in sorted(self.functions.items()):
+            if val.dtype is None and val.interval is None:
+                continue
+            lo = val.interval.lo if val.interval is not None else None
+            hi = val.interval.hi if val.interval is not None else None
+            functions[qual] = [val.dtype, lo, hi]
+        return {"functions": functions,
+                "deferred": self.deferred,
+                "assumes": [rec.to_json() for rec in self.assumes]}
+
+
+class _ModuleAnalyzer:
+    """Runs the whole-module numeric analysis: constants, per-function
+    fixpoints (two passes so same-module call facts propagate), checks,
+    and the deferred-record sweep."""
+
+    def __init__(self, source: SourceFile, config: LintConfig) -> None:
+        self.source = source
+        self.config = config
+        self.result = ModuleNumerics()
+        self.flow_scope = _in_scope(source.module,
+                                    config.numeric_module_prefixes)
+        self.ctor_scope = _in_scope(source.module,
+                                    config.default_dtype_module_prefixes)
+        self.consts = module_constants(source.tree)
+        self.ctx = _Ctx(config, self.consts, {})
+        self.used_assumes: set[int] = set()
+        self._seen_flags: set[tuple[int, int, str]] = set()
+
+    def run(self) -> ModuleNumerics:
+        if self.ctor_scope:
+            self._check_default_dtypes()
+        if not self.flow_scope:
+            return self.result
+        self.result.assumes = scan_assumes(self.source.text, self.consts)
+
+        functions = self._collect_functions()
+        # pass 1: return facts with an empty local table; pass 2 rests
+        # on those facts, so helper() -> caller chains resolve.
+        for check in (False, True):
+            table: dict[str, AbsVal] = {}
+            basenames: dict[str, list[AbsVal]] = {}
+            for qual, val in self.result.functions.items():
+                table[qual] = val
+                basenames.setdefault(qual.rsplit(".", 1)[-1],
+                                     []).append(val)
+            for base, vals in basenames.items():
+                if len(vals) == 1:
+                    table.setdefault(base, vals[0])
+                    table.setdefault(f"<method>{base}", vals[0])
+            self.ctx = _Ctx(self.config, self.consts, table)
+            for qual, func in functions:
+                self._analyze_function(qual, func, check=check)
+            self._analyze_module_body(check=check)
+
+        self.result.dead_assumes = [
+            rec for rec in self.result.assumes
+            if rec.line not in self.used_assumes]
+        return self.result
+
+    # collection -------------------------------------------------------
+
+    def _collect_functions(self) -> list[tuple[str, ast.AST]]:
+        out: list[tuple[str, ast.AST]] = []
+
+        def walk(node: ast.AST, stack: list[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, FunctionLike):
+                    qual = ".".join(stack + [child.name])
+                    out.append((qual, child))
+                    walk(child, stack + [child.name])
+                elif isinstance(child, ast.ClassDef):
+                    walk(child, stack + [child.name])
+                else:
+                    walk(child, stack)
+
+        walk(self.source.tree, [])
+        return out
+
+    # the fixpoint + post-pass -----------------------------------------
+
+    def _analyze_function(self, qual: str, func: ast.AST,
+                          check: bool) -> None:
+        cfg = build_cfg(func)
+        analysis = _NumericAnalysis(self.ctx, _seed_params(func, self.ctx),
+                                    self.result.assumes, self.used_assumes)
+        results = run_forward(
+            cfg, analysis,
+            max_steps=_STEPS_PER_NODE * len(cfg.nodes) + 256)
+        return_val: Optional[AbsVal] = None
+        loop_ids = _loop_stmt_ids(func) if check else set()
+        for node in cfg.nodes:
+            if node.stmt is None:
+                continue
+            env = _env_of(results[node.index][0])
+            if (node.kind == "return" and isinstance(node.stmt, ast.Return)
+                    and node.stmt.value is not None):
+                val = _eval(node.stmt.value, env, self.ctx)
+                return_val = val if return_val is None \
+                    else return_val.hull(val)
+            if check:
+                self._check_node(node, env, loop_ids)
+        self.result.functions[qual] = return_val or UNKNOWN
+
+    def _analyze_module_body(self, check: bool) -> None:
+        body = [s for s in self.source.tree.body]
+        if not body:
+            return
+        cfg = build_cfg(body)
+        analysis = _NumericAnalysis(self.ctx, {}, self.result.assumes,
+                                    self.used_assumes, skip_defs=True)
+        results = run_forward(
+            cfg, analysis,
+            max_steps=_STEPS_PER_NODE * len(cfg.nodes) + 256)
+        if not check:
+            return
+        for node in cfg.nodes:
+            if node.stmt is None or isinstance(node.stmt, (*FunctionLike,
+                                                           ast.ClassDef)):
+                continue
+            env = _env_of(results[node.index][0])
+            self._check_node(node, env, set())
+
+    # checks -----------------------------------------------------------
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        key = (line, col, code)
+        if key in self._seen_flags:
+            return
+        self._seen_flags.add(key)
+        self.result.flags.append((line, col, code, message))
+
+    def _defer(self, node: ast.AST, kind: str, chain: str,
+               dtype: Optional[str] = None) -> None:
+        if len(self.result.deferred) >= 200:
+            return
+        rec: dict = {"kind": kind, "line": getattr(node, "lineno", 1),
+                     "col": getattr(node, "col_offset", 0),
+                     "chain": chain}
+        if dtype is not None:
+            rec["dtype"] = dtype
+        self.result.deferred.append(rec)
+
+    def _check_node(self, node: CFGNode, env: dict[str, AbsVal],
+                    loop_ids: set[int]) -> None:
+        for frag in node_fragments(node):
+            for sub in _walk_exprs(frag):
+                if isinstance(sub, ast.Call):
+                    self._check_call(sub, env)
+                elif isinstance(sub, ast.Compare):
+                    self._check_compare(sub, env)
+                elif isinstance(sub, ast.AugAssign):
+                    self._check_aug(sub, env, loop_ids)
+
+    def _check_call(self, call: ast.Call, env: dict[str, AbsVal]) -> None:
+        chain = _chain(call.func)
+        tail = chain.split(".")[-1] if chain else None
+        head = chain.split(".")[0] if chain else None
+
+        if isinstance(call.func, ast.Attribute):
+            method = call.func.attr
+            if method == "astype":
+                dtype_expr = (call.args[0] if call.args
+                              else _dtype_kwarg(call))
+                target = (parse_dtype(dtype_expr)
+                          if dtype_expr is not None else None)
+                if target is not None:
+                    operand = _eval(call.func.value, env, self.ctx)
+                    self._check_cast(call, operand, target)
+                return
+            if method in ("sum", "cumsum"):
+                if _axis_arg(call, 0) is None:
+                    operand = _eval(call.func.value, env, self.ctx)
+                    self._check_accumulation(call, method, operand)
+                return
+            if method in ("binomial", "geometric", "negative_binomial"):
+                self._check_prob_args(call, method, env)
+                return
+
+        if head in ("np", "numpy") and tail is not None:
+            if tail in ("array", "asarray"):
+                dtype_expr = _dtype_kwarg(call, 1)
+                target = (parse_dtype(dtype_expr)
+                          if dtype_expr is not None else None)
+                if target is not None and call.args:
+                    operand = _eval(call.args[0], env, self.ctx)
+                    self._check_cast(call, operand, target)
+            elif tail in DTYPES and call.args:
+                operand = _eval(call.args[0], env, self.ctx)
+                self._check_cast(call, operand, tail)
+            elif tail in ("sum", "cumsum") and call.args:
+                if _axis_arg(call, 1) is None:
+                    operand = _eval(call.args[0], env, self.ctx)
+                    self._check_accumulation(call, tail, operand)
+
+    def _check_cast(self, call: ast.Call, operand: AbsVal,
+                    target: str) -> None:
+        lo, hi = dtype_range(target)
+        iv = operand.interval
+        if iv is None:
+            if operand.origin.startswith("call:") and self.flow_scope:
+                self._defer(call, "cast",
+                            operand.origin[len("call:"):], dtype=target)
+            return
+        below = iv.finite_lo and iv.lo < lo
+        above = iv.finite_hi and iv.hi > hi
+        if below or above:
+            self._flag(
+                call, "RPL810",
+                f"narrowing cast to {target}: operand interval "
+                f"[{_fmt(iv.lo)}, {_fmt(iv.hi)}] exceeds {target}'s "
+                f"range [{_fmt(lo)}, {_fmt(hi)}] — at trillion scale "
+                f"this truncates IDs; cast to a dtype that holds the "
+                f"proven bound (or tighten it with "
+                f"`# reprolint: assume(...)`)")
+
+    def _check_accumulation(self, call: ast.Call, kind: str,
+                            operand: AbsVal) -> None:
+        dtype_expr = _dtype_kwarg(call)
+        acc = parse_dtype(dtype_expr) if dtype_expr is not None else None
+        explicit = acc is not None
+        if acc is None:
+            # numpy promotes sub-platform-int operands to the platform
+            # integer (same signedness): int32/uint32 is the worst case
+            # the paper's 32-bit targets see.
+            if operand.dtype is None or DTYPES[operand.dtype].kind \
+                    not in "bui":
+                return
+            if DTYPES[operand.dtype].bits > 32:
+                return
+            acc = ("uint32" if DTYPES[operand.dtype].kind == "u"
+                   else "int32")
+        if DTYPES[acc].kind not in "ui":
+            return
+        info = DTYPES[acc]
+        if info.bits > 32:
+            return
+        if (operand.interval is not None and operand.interval.finite_lo
+                and operand.interval.finite_hi):
+            iv = operand.interval
+            bound: Number = max(abs(iv.lo), abs(iv.hi))
+        else:
+            bound = DTYPES[operand.dtype or acc].hi
+        if bound == 0:
+            return
+        count = self.config.accumulation_element_count
+        if bound * count <= info.hi:
+            return
+        where = (f"accumulates in {acc} (explicit dtype, ≤ 32 bits)"
+                 if explicit else
+                 f"accumulates in the platform integer — {acc} on "
+                 f"32-bit builds")
+        self._flag(
+            call, "RPL812",
+            f"np.{kind} {where}: element bound {_fmt(bound)} × "
+            f"{_fmt(count)} elements overflows {acc}'s max "
+            f"{_fmt(info.hi)} — pass dtype=np.int64 (or np.uint64)")
+
+    def _check_prob_args(self, call: ast.Call, method: str,
+                         env: dict[str, AbsVal]) -> None:
+        p_expr: Optional[ast.expr] = None
+        if method == "geometric":
+            p_expr = call.args[0] if call.args else None
+        else:
+            p_expr = call.args[1] if len(call.args) > 1 else None
+        for kw in call.keywords:
+            if kw.arg == "p":
+                p_expr = kw.value
+        if p_expr is None:
+            return
+        val = _eval(p_expr, env, self.ctx)
+        self._check_prob_value(call, val,
+                               f"probability argument of {method}()")
+
+    def _check_prob_value(self, site: ast.AST, val: AbsVal,
+                          what: str) -> None:
+        iv = val.interval
+        if iv is None:
+            if val.origin.startswith("call:") and self.flow_scope:
+                self._defer(site, "prob", val.origin[len("call:"):])
+            return
+        below = iv.finite_lo and iv.lo < 0
+        above = iv.finite_hi and iv.hi > 1
+        if below or above:
+            self._flag(
+                site, "RPL813",
+                f"{what} has interval [{_fmt(iv.lo)}, {_fmt(iv.hi)}], "
+                f"not provably within [0, 1]: the draw is biased or "
+                f"degenerate — clip/normalize first (np.clip(p, 0.0, "
+                f"1.0)) or bound it with `# reprolint: assume(...)`)")
+
+    def _check_compare(self, cmp: ast.Compare,
+                       env: dict[str, AbsVal]) -> None:
+        if len(cmp.comparators) != 1:
+            return
+        if not isinstance(cmp.ops[0], _ORDERED_CMP):
+            return
+        left = _eval(cmp.left, env, self.ctx)
+        right = _eval(cmp.comparators[0], env, self.ctx)
+        for draw, other in ((left, right), (right, left)):
+            if draw.origin == "uniform":
+                self._check_prob_value(
+                    cmp, other,
+                    "value compared against a uniform [0, 1) draw")
+                return
+
+    def _check_aug(self, stmt: ast.AugAssign, env: dict[str, AbsVal],
+                   loop_ids: set[int]) -> None:
+        if id(stmt) not in loop_ids:
+            return
+        if not isinstance(stmt.op, (ast.Add, ast.Sub, ast.Mult)):
+            return
+        target = stmt.target
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if not isinstance(target, ast.Name):
+            return
+        val = env.get(target.id)
+        if val is None or val.dtype is None:
+            return
+        info = DTYPES[val.dtype]
+        if info.kind not in "ui" or info.bits > 32:
+            return
+        rhs = _eval(stmt.value, env, self.ctx)
+        if (rhs.interval is not None
+                and rhs.interval.lo == 0 and rhs.interval.hi == 0):
+            return
+        self._flag(
+            stmt, "RPL812",
+            f"in-loop accumulation into '{target.id}' ({val.dtype}, "
+            f"≤ 32 bits): repeated += overflows long before trillion "
+            f"scale — accumulate in int64/uint64")
+
+    # RPL811 — syntactic, gated on the ID-path packages ----------------
+
+    def _check_default_dtypes(self) -> None:
+        for sub in ast.walk(self.source.tree):
+            if not isinstance(sub, ast.Call):
+                continue
+            chain = _chain(sub.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            if len(parts) != 2 or parts[0] not in ("np", "numpy"):
+                continue
+            tail = parts[1]
+            index = _DEFAULT_DTYPE_CTORS.get(tail)
+            if index is None:
+                continue
+            if _dtype_kwarg(sub, index) is not None:
+                continue
+            self._flag(
+                sub, "RPL811",
+                f"np.{tail} without an explicit dtype defaults to the "
+                f"platform integer/float: on 32-bit platforms IDs past "
+                f"2^31 silently wrap — pass dtype=np.int64 (IDs), "
+                f"np.uint64 (bit patterns), or np.float64 explicitly")
+
+
+def _fmt(value: Number) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if isinstance(value, float) and value.is_integer() \
+            and abs(value) < 2 ** 63:
+        return str(int(value))
+    return str(value)
+
+
+def analyze_module(source: SourceFile,
+                   config: LintConfig) -> ModuleNumerics:
+    """Analyze (and memoize on the SourceFile) one module's numerics.
+
+    Both the file checker and :func:`summarize_source` need the result;
+    memoizing on the parsed source keeps the fixpoint from running
+    twice per file per run.
+    """
+    memo: list = getattr(source, "_numeric_memo", [])
+    for cfg, cached in memo:
+        if cfg is config:
+            return cached
+    result = _ModuleAnalyzer(source, config).run()
+    memo.append((config, result))
+    source._numeric_memo = memo  # type: ignore[attr-defined]
+    return result
+
+
+# -- the checkers -------------------------------------------------------
+
+
+@register_checker
+class NumericSoundnessChecker(Checker):
+    """Scale soundness: dtype & value-range abstract interpretation."""
+
+    name = "numeric-soundness"
+    codes = {
+        "RPL810": "narrowing cast whose interval exceeds the target "
+                  "dtype range",
+        "RPL811": "default-dtype numpy constructor on an ID path",
+        "RPL812": "accumulation on a <=32-bit dtype that can overflow",
+        "RPL813": "probability not provably within [0, 1] at a "
+                  "Bernoulli site",
+        "RPL814": "assume pragma that never landed on an analyzed "
+                  "statement",
+    }
+
+    def run(self):  # type: ignore[override]
+        module = self.source.module
+        flow = _in_scope(module, self.config.numeric_module_prefixes)
+        ctor = _in_scope(module,
+                         self.config.default_dtype_module_prefixes)
+        if not flow and not ctor:
+            return self.violations
+        numerics = analyze_module(self.source, self.config)
+        for line, col, code, message in numerics.flags:
+            self.flag(_pos_node(line, col), code, message)
+        for rec in numerics.dead_assumes:
+            self.flag(
+                _pos_node(rec.line, 0), "RPL814",
+                f"assume({rec.name}, {_fmt(rec.lo)}, {_fmt(rec.hi)}) "
+                f"never landed on an analyzed statement: put it on the "
+                f"line that binds '{rec.name}' (inside a function or a "
+                f"module-level assignment), or delete it")
+        return self.violations
+
+
+@register_project_checker
+class NumericInterfaceChecker(ProjectChecker):
+    """Cross-module RPL810/RPL813: deferred cast and probability sites
+    resolved against callee return facts through the call graph."""
+
+    name = "numeric-interface"
+    codes = {
+        "RPL810": "narrowing cast of a cross-module return value whose "
+                  "interval exceeds the target dtype range",
+        "RPL813": "cross-module return value not provably within "
+                  "[0, 1] at a Bernoulli site",
+    }
+
+    def check(self, project) -> None:  # type: ignore[override]
+        for summary in project.summaries:
+            numeric = getattr(summary, "numeric", None) or {}
+            for rec in numeric.get("deferred", []):
+                self._check_deferred(project, summary, rec)
+
+    def _resolve_facts(self, project, module: str,
+                       chain: str) -> Optional[tuple[str, AbsVal]]:
+        owner, symbol = project.resolve_chain(module, chain)
+        if symbol is None or owner not in project.modules:
+            return None
+        target = project.modules[owner]
+        numeric = getattr(target, "numeric", None) or {}
+        doc = numeric.get("functions", {}).get(symbol)
+        if doc is None:
+            return None
+        dtype, lo, hi = doc
+        interval = None if lo is None else Interval(_as_num(lo),
+                                                    _as_num(hi))
+        return f"{owner}.{symbol}", AbsVal(dtype, interval)
+
+    def _check_deferred(self, project, summary, rec: dict) -> None:
+        resolved = self._resolve_facts(project, summary.module,
+                                       str(rec.get("chain", "")))
+        if resolved is None:
+            return
+        qual, val = resolved
+        if val.interval is None:
+            return
+        iv = val.interval
+        line = int(rec.get("line", 1))
+        col = int(rec.get("col", 0))
+        if rec.get("kind") == "cast":
+            target = str(rec.get("dtype", ""))
+            if target not in DTYPES:
+                return
+            lo, hi = dtype_range(target)
+            if (iv.finite_lo and iv.lo < lo) or (iv.finite_hi
+                                                 and iv.hi > hi):
+                self.flag(
+                    summary, line, col, "RPL810",
+                    f"narrowing cast to {target} of {qual}()'s return "
+                    f"value: its summarized interval [{_fmt(iv.lo)}, "
+                    f"{_fmt(iv.hi)}] exceeds {target}'s range "
+                    f"[{_fmt(lo)}, {_fmt(hi)}]")
+        elif rec.get("kind") == "prob":
+            if (iv.finite_lo and iv.lo < 0) or (iv.finite_hi
+                                                and iv.hi > 1):
+                self.flag(
+                    summary, line, col, "RPL813",
+                    f"{qual}()'s return value flows into a Bernoulli "
+                    f"site with interval [{_fmt(iv.lo)}, {_fmt(iv.hi)}]"
+                    f", not provably within [0, 1]")
+
+
+def _as_num(value: object) -> Number:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    return float(str(value))

@@ -133,6 +133,10 @@ class ModuleSummary:
     #: "workers"}`` where ``workers`` are the candidate worker-callable
     #: expressions (dotted chains or ``"<lambda>"``)
     spawn_sites: list[dict] = field(default_factory=list)
+    #: numeric-analysis facts (RPL8xx): ``{"functions": {qualname:
+    #: [dtype, lo, hi]}, "deferred": [...], "assumes": [...]}`` — empty
+    #: for modules outside the numeric scope
+    numeric: dict = field(default_factory=dict)
     pragma_table: PragmaTable = field(default_factory=PragmaTable)
 
     def bindings(self) -> dict[str, ImportRecord]:
@@ -155,6 +159,7 @@ class ModuleSummary:
             "env_reads": [[q, line, var]
                           for q, line, var in self.env_reads],
             "spawn_sites": self.spawn_sites,
+            "numeric": self.numeric,
             "pragmas": self.pragma_table.to_json(),
         }
 
@@ -178,6 +183,7 @@ class ModuleSummary:
             env_reads=[(str(q), int(line), str(var))
                        for q, line, var in doc.get("env_reads", [])],  # type: ignore[union-attr]
             spawn_sites=list(doc.get("spawn_sites", [])),  # type: ignore[call-overload]
+            numeric=dict(doc.get("numeric", {})),  # type: ignore[call-overload]
             pragma_table=PragmaTable.from_json(doc["pragmas"]),  # type: ignore[arg-type]
         )
 
@@ -378,12 +384,25 @@ class _Summarizer(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def summarize_source(source: SourceFile) -> ModuleSummary:
-    """Build the :class:`ModuleSummary` for a parsed file in one pass."""
+def summarize_source(source: SourceFile,
+                     config: LintConfig | None = None) -> ModuleSummary:
+    """Build the :class:`ModuleSummary` for a parsed file in one pass.
+
+    With a ``config``, the numeric analysis also runs (memoized on the
+    source, so the file checker reuses the same result) and its facts —
+    summarized return intervals, deferred cross-module checks, assume
+    pragmas — travel in ``summary.numeric``.
+    """
     summary = ModuleSummary(module=source.module, path=str(source.path),
                             pragma_table=source.pragma_table)
     is_package = source.path.name == "__init__.py"
     _Summarizer(summary, is_package).visit(source.tree)
+    if config is not None:
+        from .numeric_checkers import analyze_module
+        numerics = analyze_module(source, config)
+        doc = numerics.summary_doc()
+        if doc["functions"] or doc["deferred"] or doc["assumes"]:
+            summary.numeric = doc
     return summary
 
 

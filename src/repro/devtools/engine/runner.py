@@ -43,7 +43,7 @@ class LintRun:
 
 def default_profiles(config: LintConfig) -> dict[str, LintConfig]:
     relaxed = relaxed_profile(config)
-    return {"tests": relaxed, "benchmarks": relaxed}
+    return {"tests": relaxed, "benchmarks": relaxed, "examples": relaxed}
 
 
 def _config_for(path: Path, config: LintConfig,
@@ -129,7 +129,7 @@ def run_paths(paths: Iterable[Path | str],
         file_violations: list[Violation] = []
         for cls in file_classes:
             file_violations.extend(cls(source, file_config).run())
-        summary = summarize_source(source)
+        summary = summarize_source(source, file_config)
         summary_doc = summary.to_json()
         suppressed = [[line, t]
                       for line, t in sorted(source.pragma_table.used)]

@@ -65,6 +65,9 @@ RELAXED_CODES = frozenset({
     "RPL508",                                # print() in harness output
     "RPL520",                                # tests/benches materialize
                                              # merge streams to compare
+    "RPL811", "RPL812",                      # fixtures build tiny arrays
+                                             # where default dtypes and
+                                             # narrow accumulators are fine
 })
 
 
@@ -187,6 +190,28 @@ class PragmaTable:
         return cls(skip=bool(doc["skip"]),
                    pragmas=[Pragma.from_json(p)
                             for p in doc["pragmas"]])  # type: ignore[union-attr]
+
+
+#: Default interval seeds for the numeric analysis (RPL8xx): the
+#: paper's value ranges, keyed by exact parameter name.  2^48 - 1 is
+#: the ADJ6 ID ceiling; scale tops out at 62 (edges fit int64).
+_INTERVAL_SEEDS: dict[str, tuple[float, float]] = {
+    "scale": (0, 62),
+    "log_n": (0, 62),
+    "block_size": (1, 2 ** 31),
+    "edge_factor": (0, 2 ** 20),
+    "degree": (0, 2 ** 32 - 1),
+    "degrees": (0, 2 ** 32 - 1),
+    "max_degree": (0, 2 ** 32 - 1),
+    "max_id": (0, 2 ** 48 - 1),
+    "num_vertices": (1, 2 ** 48),
+    "n_vertices": (1, 2 ** 48),
+    "num_edges": (0, 2 ** 62),
+    "n_edges": (0, 2 ** 62),
+    "p": (0.0, 1.0),
+    "prob": (0.0, 1.0),
+    "probability": (0.0, 1.0),
+}
 
 
 @dataclass(frozen=True)
@@ -324,6 +349,25 @@ class LintConfig:
     #: loop (and its RNG streams).
     introspection_forbidden_imports: tuple[str, ...] = (
         "repro.core", "repro.models")
+    #: Module prefixes the numeric abstract interpretation (RPL810 /
+    #: RPL812 / RPL813 / RPL814 + summary return facts) runs over.
+    numeric_module_prefixes: tuple[str, ...] = ("repro",)
+    #: Module prefixes where numpy constructors must name a dtype
+    #: (RPL811) — the ID-carrying packages where a platform-default
+    #: ``np.arange`` silently wraps past 2^31 on 32-bit builds.
+    default_dtype_module_prefixes: tuple[str, ...] = (
+        "repro.core", "repro.formats", "repro.models", "repro.dist")
+    #: Parameter-name -> (lo, hi) interval seeds for the numeric
+    #: analysis: the paper's known value ranges (48-bit IDs, scale
+    #: ≤ 62, probabilities in [0, 1]).  Names are matched exactly;
+    #: anything not listed falls back to the probability-name
+    #: patterns above, then to unknown.
+    interval_seeds: dict[str, tuple[float, float]] = field(
+        default_factory=lambda: dict(_INTERVAL_SEEDS))
+    #: Element count the accumulation-overflow rule (RPL812) assumes:
+    #: 2^33 ≈ one scale-33 vertex partition, the smallest scale where
+    #: IDs straddle 2^32.
+    accumulation_element_count: int = 2 ** 33
     #: Violation codes switched off wholesale (per-directory profiles).
     disabled_codes: frozenset[str] = frozenset()
 
@@ -486,6 +530,7 @@ def _import_bundled() -> None:
     from . import checkers as _file_rules            # noqa: F401
     from .engine import concurrency_checkers as _conc_rules  # noqa: F401
     from .engine import flow_checkers as _flow_rules  # noqa: F401
+    from .engine import numeric_checkers as _numeric_rules  # noqa: F401
     from .engine import project_checkers as _project_rules  # noqa: F401
 
 

@@ -1,7 +1,9 @@
 """``reprolint`` command line: ``python -m repro.devtools.lint`` or the
 ``trilliong-lint`` console script.
 
-Exit codes: 0 clean, 1 findings, 2 usage / unreadable / unparseable input.
+Exit codes: 0 clean, 1 findings, 2 usage / unreadable / unparseable
+input, 3 internal engine error (a crash in the analysis itself, never
+a property of the linted code).
 
 The v2 engine runs by default: file checkers, the whole-program project
 checkers (call-graph layering, dead-pragma), per-directory profiles
@@ -15,11 +17,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 from pathlib import Path
 from typing import Sequence
 
 from .framework import LintConfig, all_checkers, all_project_checkers
-from .reporters import json_report, text_report
+from .reporters import json_report, sarif_report, text_report
 
 __all__ = ["main", "build_parser", "default_target", "default_cache_dir"]
 
@@ -44,12 +47,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "engine (RNG-stream flow, atomic-write protocol, "
                     "resource lifecycle, thread shared-state and "
                     "lifecycle, spawn hygiene, call-graph layering, dead "
-                    "pragmas).")
+                    "pragmas, numeric dtype/interval scale-soundness). "
+                    "Exit codes: 0 clean, 1 findings, 2 bad input, "
+                    "3 internal engine error.")
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to lint "
                              "(default: the installed repro package)")
-    parser.add_argument("--format", choices=("text", "json"),
-                        default="text", help="report format")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="report format (sarif: SARIF 2.1.0 for "
+                             "GitHub code scanning)")
     parser.add_argument("--select", metavar="NAMES",
                         help="comma-separated checker names to run "
                              "(default: all)")
@@ -106,10 +113,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     except SyntaxError as exc:
         print(f"trilliong-lint: syntax error: {exc}", file=sys.stderr)
         return 2
+    # An engine crash must exit 3 regardless of which exception type
+    # escaped — hence the blanket catch.
+    except Exception:  # reprolint: disable=RPL402
+        print("trilliong-lint: internal engine error", file=sys.stderr)
+        traceback.print_exc(file=sys.stderr)
+        return 3
     elapsed = time.perf_counter() - started
 
     if args.format == "json":
         print(json_report(run.violations, run.files_checked))
+    elif args.format == "sarif":
+        print(sarif_report(run.violations, run.files_checked))
     else:
         print(text_report(run.violations, run.files_checked))
     if args.stats:

@@ -59,9 +59,10 @@ def edge_bit_moments(edges: np.ndarray,
     u = edges[:, 0].astype(np.uint64)
     v = edges[:, 1].astype(np.uint64)
     total_bits = edges.shape[0] * levels
-    src_ones = float(np.bitwise_count(u).sum()) / total_bits
-    dst_ones = float(np.bitwise_count(v).sum()) / total_bits
-    both_ones = float(np.bitwise_count(u & v).sum()) / total_bits
+    src_ones = float(np.bitwise_count(u).sum(dtype=np.int64)) / total_bits
+    dst_ones = float(np.bitwise_count(v).sum(dtype=np.int64)) / total_bits
+    both_ones = float(np.bitwise_count(u & v).sum(dtype=np.int64)) \
+        / total_bits
     return src_ones, dst_ones, both_ones
 
 

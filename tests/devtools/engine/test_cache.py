@@ -129,6 +129,74 @@ def test_cached_violations_replay_identically(tmp_path):
     assert warm.cache_hits == warm.files_checked
 
 
+def _numeric_tree(tmp_path: Path) -> tuple[Path, Path]:
+    tree = tmp_path / "nproj"
+    pkg = tree / "npkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    target = pkg / "cast.py"
+    target.write_text("import numpy as np\n\n"
+                      "__all__ = ['pack']\n\n\n"
+                      "def pack(max_id):\n"
+                      "    return np.int32(max_id)\n")
+    (pkg / "other.py").write_text("__all__ = ['untouched']\n\n\n"
+                                  "def untouched():\n    return 0\n")
+    return tree, target
+
+
+NUMERIC_CFG = config_with(numeric_module_prefixes=("npkg",),
+                          default_dtype_module_prefixes=("npkg",))
+
+
+def test_assume_pragma_edit_invalidates_file_and_project_pass(tmp_path):
+    tree, target = _numeric_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    cold = lint(tree, cache_dir, config=NUMERIC_CFG)
+    assert [v.code for v in cold.violations] == ["RPL810"]
+
+    # adding the assume changes the file content *and* the module's
+    # numeric summary (its assume table), so the project pass must
+    # rerun — a cached project result would keep the stale finding
+    target.write_text(
+        "import numpy as np\n\n"
+        "__all__ = ['pack']\n\n\n"
+        "def pack(max_id):\n"
+        "    small = max_id  # reprolint: assume(small, 0, 1000)\n"
+        "    return np.int32(small)\n")
+    warm = lint(tree, cache_dir, config=NUMERIC_CFG)
+
+    assert warm.cache_misses == 1
+    assert warm.cache_hits == warm.files_checked - 1
+    assert not warm.project_cache_hit
+    assert warm.violations == []
+
+
+def test_interval_seed_change_invalidates_every_file(tmp_path):
+    tree, _target = _numeric_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    cold = lint(tree, cache_dir, config=NUMERIC_CFG)
+    assert [v.code for v in cold.violations] == ["RPL810"]
+
+    seeds = dict(NUMERIC_CFG.interval_seeds)
+    seeds["max_id"] = (0, 1000)
+    warm = lint(tree, cache_dir,
+                config=config_with(numeric_module_prefixes=("npkg",),
+                                   default_dtype_module_prefixes=("npkg",),
+                                   interval_seeds=seeds))
+
+    # the seed table is part of the config fingerprint: every file
+    # misses and the finding disappears under the tightened bound
+    assert warm.cache_misses == warm.files_checked
+    assert warm.violations == []
+
+
+def test_interval_seeds_in_config_fingerprint(tmp_path):
+    seeds = dict(LintConfig().interval_seeds)
+    seeds["scale"] = (0, 40)
+    assert config_fingerprint(LintConfig()) != config_fingerprint(
+        config_with(interval_seeds=seeds))
+
+
 # -- key construction --------------------------------------------------
 
 

@@ -1,0 +1,440 @@
+"""Flag + pass fixtures for the RPL8xx scale-soundness family:
+narrowing casts (RPL810), default-dtype constructors (RPL811),
+accumulation overflow (RPL812), probability ranges (RPL813), dead
+assume pragmas (RPL814), and the cross-module numeric-interface
+checker that resolves deferred sites through the call graph."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools import LintConfig, lint_file
+from repro.devtools.framework import config_with
+from repro.devtools.engine.runner import run_paths
+
+NUMERIC_CFG = config_with(numeric_module_prefixes=("snippet",),
+                          default_dtype_module_prefixes=("snippet",))
+
+
+def run(tmp_path: Path, code, config=None, name="snippet",
+        checker="numeric-soundness"):
+    path = tmp_path / f"{name}.py"
+    path.write_text(textwrap.dedent(code))
+    return lint_file(path, config or NUMERIC_CFG, enabled=[checker])
+
+
+def codes(violations):
+    return sorted({v.code for v in violations})
+
+
+# ---------------------------------------------------------------------------
+# RPL810 — narrowing casts
+# ---------------------------------------------------------------------------
+
+def test_rpl810_flags_cast_below_proven_bound(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        MAX_ID = (1 << 48) - 1
+
+        def ids(count):
+            arr = np.arange(count, dtype=np.int64)
+            capped = np.minimum(arr, MAX_ID)
+            return capped.astype(np.int32)
+    """)
+    assert codes(found) == ["RPL810"]
+    assert "int32" in found[0].message
+
+
+def test_rpl810_passes_when_cast_provably_fits(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def small(count):
+            arr = np.arange(count, dtype=np.int64)
+            capped = np.clip(arr, 0, 1000)
+            return capped.astype(np.int16)
+    """)
+    assert found == []
+
+
+def test_rpl810_stays_quiet_on_unknown_values(tmp_path):
+    # mix64-style bit avalanche: nothing is known about the value, so
+    # the positively-derived policy must not manufacture a flag.
+    found = run(tmp_path, """
+        import numpy as np
+
+        def shard(keys, num_workers):
+            hashed = mix64(keys)
+            return (hashed % np.uint64(num_workers)).astype(np.int64)
+    """)
+    assert found == []
+
+
+def test_rpl810_flags_np_scalar_cast_and_asarray_dtype(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        BIG = 1 << 40
+
+        def f():
+            return np.int32(BIG)
+
+        def g():
+            vals = np.arange(10, dtype=np.int64) * BIG
+            return np.asarray(vals, dtype=np.uint16)
+    """)
+    assert [v.code for v in found] == ["RPL810", "RPL810"]
+
+
+def test_rpl810_seeded_parameter_bounds(tmp_path):
+    # max_id is seeded [0, 2^48) from the interval-seed table
+    found = run(tmp_path, """
+        import numpy as np
+
+        def truncate(max_id):
+            return np.int32(max_id)
+    """)
+    assert codes(found) == ["RPL810"]
+
+
+def test_rpl810_local_interprocedural_return_facts(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def widths():
+            return np.arange(8, dtype=np.int64) * (1 << 40)
+
+        def caller():
+            return widths().astype(np.int32)
+    """)
+    assert codes(found) == ["RPL810"]
+
+
+# ---------------------------------------------------------------------------
+# RPL811 — default-dtype constructors
+# ---------------------------------------------------------------------------
+
+def test_rpl811_flags_default_dtype_constructors(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def build(n):
+            a = np.arange(n)
+            b = np.zeros(n)
+            c = np.empty(n)
+            return a, b, c
+    """)
+    assert [v.code for v in found] == ["RPL811"] * 3
+
+
+def test_rpl811_passes_with_explicit_dtype(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def build(n):
+            a = np.arange(n, dtype=np.int64)
+            b = np.zeros(n, np.float64)
+            c = np.empty(n, dtype="<u4")
+            d = np.zeros_like(a)
+            e = np.array([1, 2, 3])
+            return a, b, c, d, e
+    """)
+    assert found == []
+
+
+def test_rpl811_scoped_to_configured_packages(tmp_path):
+    cfg = config_with(numeric_module_prefixes=("snippet",),
+                      default_dtype_module_prefixes=("elsewhere",))
+    found = run(tmp_path, """
+        import numpy as np
+
+        def build(n):
+            return np.arange(n)
+    """, config=cfg)
+    assert found == []
+
+
+# ---------------------------------------------------------------------------
+# RPL812 — accumulation overflow
+# ---------------------------------------------------------------------------
+
+def test_rpl812_flags_explicit_narrow_sum_dtype(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def count(mask):
+            return mask.sum(dtype=np.uint32)
+    """)
+    assert codes(found) == ["RPL812"]
+
+
+def test_rpl812_flags_bool_mask_platform_sum(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def count(parent):
+            return (parent >= 0).sum()
+    """)
+    assert codes(found) == ["RPL812"]
+
+
+def test_rpl812_passes_with_wide_dtype_or_axis(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def safe(mask, table):
+            total = mask.sum(dtype=np.int64)
+            rows = table.sum(axis=1)
+            wide = np.arange(10, dtype=np.int64).sum()
+            return total, rows, wide
+    """)
+    assert found == []
+
+
+def test_rpl812_flags_in_loop_augmented_accumulation(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def acc(blocks):
+            total = np.zeros(4, dtype=np.uint16)
+            for block in blocks:
+                total += block
+            return total
+    """)
+    assert codes(found) == ["RPL812"]
+
+
+def test_rpl812_passes_in_loop_int64_accumulation(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def acc(blocks):
+            total = np.zeros(4, dtype=np.int64)
+            for block in blocks:
+                total += block
+            return total
+    """)
+    assert found == []
+
+
+# ---------------------------------------------------------------------------
+# RPL813 — probability ranges
+# ---------------------------------------------------------------------------
+
+def test_rpl813_flags_out_of_range_uniform_comparison(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def bern(rng, prob):
+            scaled = prob * 3.0
+            return rng.random(8) < scaled
+    """)
+    assert codes(found) == ["RPL813"]
+
+
+def test_rpl813_passes_proven_probability(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def bern(rng, prob):
+            halved = prob * 0.5
+            return rng.random(8) < halved
+    """)
+    assert found == []
+
+
+def test_rpl813_flags_binomial_p_argument(tmp_path):
+    found = run(tmp_path, """
+        def draw(rng, prob):
+            return rng.binomial(10, prob + 1.0)
+    """)
+    assert codes(found) == ["RPL813"]
+
+
+def test_rpl813_quiet_on_unknown_probability(tmp_path):
+    found = run(tmp_path, """
+        def bern(rng, weights):
+            return rng.random(8) < weights
+    """)
+    assert found == []
+
+
+def test_rpl813_clip_makes_probability_pass(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def bern(rng, prob):
+            scaled = np.clip(prob * 3.0, 0.0, 1.0)
+            return rng.random(8) < scaled
+    """)
+    assert found == []
+
+
+# ---------------------------------------------------------------------------
+# RPL814 — dead assumes, and assumes enabling passes
+# ---------------------------------------------------------------------------
+
+def test_assume_pragma_enables_a_pass(tmp_path):
+    flagged = run(tmp_path, """
+        import numpy as np
+
+        def pack(max_id):
+            return max_id  # seeded [0, 2^48): int32 cast would flag
+    """)
+    assert flagged == []
+    without = run(tmp_path, """
+        import numpy as np
+
+        def pack(max_id):
+            return np.int32(max_id)
+    """)
+    assert codes(without) == ["RPL810"]
+    with_assume = run(tmp_path, """
+        import numpy as np
+
+        def pack(max_id):
+            small = max_id  # reprolint: assume(small, 0, 1000)
+            return np.int32(small)
+    """)
+    assert with_assume == []
+
+
+def test_rpl814_flags_dead_assume(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def f(x):
+            return x
+        # reprolint: assume(ghost, 0, 1)
+    """)
+    assert codes(found) == ["RPL814"]
+
+
+def test_assume_at_module_level_is_live(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        budget = compute()  # reprolint: assume(budget, 0, 100)
+        cast = np.int8(budget)
+    """)
+    assert found == []
+
+
+# ---------------------------------------------------------------------------
+# robustness: loops, widening, scope gating
+# ---------------------------------------------------------------------------
+
+def test_loop_widening_terminates_and_stays_sound(tmp_path):
+    found = run(tmp_path, """
+        import numpy as np
+
+        def grow(n):
+            x = 1
+            for _ in range(n):
+                x = x * 2
+            return np.int64(x)
+    """)
+    # must terminate; the widened bound reaches inf, which is not a
+    # positively-derived finite violation, so no flag either
+    assert found == []
+
+
+def test_out_of_scope_module_is_ignored(tmp_path):
+    cfg = config_with(numeric_module_prefixes=("elsewhere",),
+                      default_dtype_module_prefixes=("elsewhere",))
+    found = run(tmp_path, """
+        import numpy as np
+
+        BIG = 1 << 40
+
+        def f():
+            return np.int32(np.arange(BIG))
+    """, config=cfg)
+    assert found == []
+
+
+# ---------------------------------------------------------------------------
+# cross-module numeric-interface (project checker)
+# ---------------------------------------------------------------------------
+
+def _write_pkg(tmp_path: Path) -> Path:
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "producer.py").write_text(textwrap.dedent("""
+        import numpy as np
+
+        def big_ids():
+            return np.arange(16, dtype=np.int64) * (1 << 40)
+
+        def prob_like():
+            return np.arange(4, dtype=np.float64) * 5.0
+    """))
+    return pkg
+
+
+def test_numeric_interface_flags_cross_module_cast(tmp_path):
+    pkg = _write_pkg(tmp_path)
+    (pkg / "consumer.py").write_text(textwrap.dedent("""
+        import numpy as np
+
+        from pkg.producer import big_ids, prob_like
+
+        def narrow(rng):
+            ids = big_ids()
+            bad_prob = prob_like()
+            flips = rng.random(4) < bad_prob
+            return ids.astype(np.int32), flips
+    """))
+    cfg = config_with(numeric_module_prefixes=("pkg",),
+                      default_dtype_module_prefixes=("pkg",))
+    run_result = run_paths(
+        [tmp_path], cfg,
+        enabled=["numeric-soundness", "numeric-interface"],
+        cache_dir=None)
+    found = codes(run_result.violations)
+    assert found == ["RPL810", "RPL813"]
+    by_code = {v.code: v for v in run_result.violations}
+    assert by_code["RPL810"].path.endswith("consumer.py")
+    assert "pkg.producer.big_ids" in by_code["RPL810"].message
+
+
+def test_numeric_interface_passes_on_fitting_return(tmp_path):
+    pkg = _write_pkg(tmp_path)
+    (pkg / "consumer.py").write_text(textwrap.dedent("""
+        import numpy as np
+
+        from pkg.producer import big_ids
+
+        def wide():
+            return big_ids().astype(np.int64)
+    """))
+    cfg = config_with(numeric_module_prefixes=("pkg",),
+                      default_dtype_module_prefixes=("pkg",))
+    run_result = run_paths(
+        [tmp_path], cfg,
+        enabled=["numeric-soundness", "numeric-interface"],
+        cache_dir=None)
+    assert run_result.violations == []
+
+
+def test_summary_carries_numeric_facts(tmp_path):
+    from repro.devtools.framework import SourceFile
+    from repro.devtools.engine.project import summarize_source
+
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent("""
+        import numpy as np
+
+        def ids():
+            return np.arange(16, dtype=np.int64)
+    """))
+    source = SourceFile.parse(path)
+    summary = summarize_source(source, NUMERIC_CFG)
+    assert summary.numeric["functions"]["ids"] == ["int64", 0, 15]
+    # round-trips through the cache's JSON form
+    from repro.devtools.engine.project import ModuleSummary
+    again = ModuleSummary.from_json(summary.to_json())
+    assert again.numeric == summary.numeric

@@ -1,0 +1,216 @@
+"""Unit tests for the numeric abstract domains (dtype lattice, interval
+arithmetic + grid widening, constant evaluation, assume scanning)."""
+
+from __future__ import annotations
+
+import ast
+import math
+
+import pytest
+
+from repro.devtools.engine.domains import (
+    DTYPES, AbsVal, AssumeRecord, GRID, Interval, const_value,
+    dtype_range, module_constants, parse_dtype, promote, scan_assumes)
+
+
+# ---------------------------------------------------------------------------
+# dtype lattice
+# ---------------------------------------------------------------------------
+
+def test_dtype_table_ranges():
+    assert dtype_range("int32") == (-2 ** 31, 2 ** 31 - 1)
+    assert dtype_range("uint64") == (0, 2 ** 64 - 1)
+    assert dtype_range("bool") == (0, 1)
+    assert dtype_range("float64") == (-math.inf, math.inf)
+
+
+@pytest.mark.parametrize("a, b, expected", [
+    (None, "int32", None),             # unknown absorbs
+    ("int32", None, None),
+    ("int32", "int32", "int32"),
+    ("int32", "int64", "int64"),       # same kind: max bits
+    ("uint8", "uint32", "uint32"),
+    ("bool", "uint16", "uint16"),      # bool absorbs into the other
+    ("int32", "uint32", "int64"),      # signed must hold unsigned range
+    ("int64", "uint64", "float64"),    # numpy's unhappy corner
+    ("float32", "float64", "float64"),
+    ("int64", "float32", "float64"),   # wide int + narrow float
+    ("uint8", "float32", "float32"),
+])
+def test_promote(a, b, expected):
+    assert promote(a, b) == expected
+    assert promote(b, a) == expected
+
+
+@pytest.mark.parametrize("src, expected", [
+    ("np.int32", "int32"),
+    ("numpy.uint64", "uint64"),
+    ("'int16'", "int16"),
+    ("'<u4'", "uint32"),
+    ("'>i8'", "int64"),
+    ("bool", "bool"),
+    ("int", "int64"),
+    ("float", "float64"),
+    ("np.dtype('uint8')", "uint8"),
+    ("np.intp", "int64"),
+    ("some_variable", None),
+    ("'not-a-dtype'", None),
+])
+def test_parse_dtype(src, expected):
+    expr = ast.parse(src, mode="eval").body
+    assert parse_dtype(expr) == expected
+
+
+# ---------------------------------------------------------------------------
+# intervals
+# ---------------------------------------------------------------------------
+
+def test_interval_arithmetic_exact():
+    a = Interval(2, 10)
+    b = Interval(-3, 4)
+    assert a + b == Interval(-1, 14)
+    assert a - b == Interval(-2, 13)
+    assert a * b == Interval(-30, 40)
+    assert -a == Interval(-10, -2)
+
+
+def test_interval_division_spanning_zero_is_unknown():
+    assert Interval(1, 10).floordiv(Interval(-1, 1)) is None
+    assert Interval(1, 10).truediv(Interval(0, 5)) is None
+    assert Interval(0, 100).floordiv(Interval(2, 4)) == Interval(0, 50)
+
+
+def test_interval_mod_requires_positive_divisor():
+    assert Interval(0, 100).mod(Interval(8, 8)) == Interval(0, 7)
+    assert Interval(-5, 100).mod(Interval(8, 8)) == Interval(-7, 7)
+    assert Interval(0, 100).mod(Interval(0, 8)) is None
+    assert Interval(0, 100).mod(Interval(1, math.inf)) is None
+
+
+def test_interval_shifts_and_bits():
+    assert Interval(1, 1).lshift(Interval(48, 48)) == Interval(2 ** 48,
+                                                               2 ** 48)
+    assert Interval(0, 2 ** 48).rshift(Interval(16, 16)) == \
+        Interval(0, 2 ** 32)
+    assert Interval(0, 255).bitand(Interval(0, 15)) == Interval(0, 15)
+    bitor = Interval(0, 5).bitor(Interval(0, 9))
+    assert bitor.lo == 0 and bitor.hi == 15
+    assert Interval(-1, 5).bitand(Interval(0, 15)) is None
+
+
+def test_interval_infinity_guards():
+    top = Interval(-math.inf, math.inf)
+    assert (top + Interval(1, 1)) == top
+    assert (Interval(0, 0) * top) == Interval(0, 0)   # 0 * inf -> 0
+    assert (Interval(1, 2) * top) == top
+
+
+def test_widening_snaps_outward_onto_grid():
+    widened = Interval(3, 1000).widened()
+    assert widened.lo <= 3 and widened.hi >= 1000
+    assert widened.lo in GRID and widened.hi in GRID
+    # already-on-grid endpoints stay put (widening is idempotent)
+    assert widened.widened() == widened
+
+
+def test_grid_contains_the_dtype_boundaries():
+    for value in (0, 1, 2 ** 31 - 1, 2 ** 32, 2 ** 48 - 1, 2 ** 63,
+                  -(2 ** 31), math.inf):
+        assert value in GRID
+
+
+def test_clamp_and_within():
+    assert Interval(-5, 100).clamp(0, 10) == Interval(0, 10)
+    assert Interval(3, 4).within(0, 10)
+    assert not Interval(3, 40).within(0, 10)
+
+
+# ---------------------------------------------------------------------------
+# abstract values
+# ---------------------------------------------------------------------------
+
+def test_absval_hull_poisons_unknown_interval():
+    known = AbsVal("int64", Interval(0, 10))
+    unknown = AbsVal("int64", None)
+    assert known.hull(unknown).interval is None
+    assert known.hull(known).interval == Interval(0, 10)
+
+
+def test_absval_hull_keeps_origin_only_when_equal():
+    a = AbsVal("float64", Interval(0, 1), "uniform")
+    b = AbsVal("float64", Interval(0, 1), "uniform")
+    c = AbsVal("float64", Interval(0, 1), "")
+    assert a.hull(b).origin == "uniform"
+    assert a.hull(c).origin == ""
+
+
+# ---------------------------------------------------------------------------
+# constant evaluation
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("src, expected", [
+    ("(1 << 48) - 1", 2 ** 48 - 1),
+    ("2 ** 32", 2 ** 32),
+    ("-7", -7),
+    ("3 * 4 + 1", 13),
+    ("0xFFFFFFFF", 0xFFFFFFFF),
+    ("1 / 0", None),
+    ("2 ** 10_000", None),        # guarded: exponent too large
+    ("unknown_name", None),
+])
+def test_const_value(src, expected):
+    expr = ast.parse(src, mode="eval").body
+    assert const_value(expr) == expected
+
+
+def test_const_value_uses_environment():
+    expr = ast.parse("SCALE + 1", mode="eval").body
+    assert const_value(expr, {"SCALE": 33}) == 34
+
+
+def test_module_constants_follow_reassignment():
+    tree = ast.parse(
+        "MAX_ID = (1 << 48) - 1\n"
+        "SCALE = 33\n"
+        "SCALE = read_config()\n"      # no longer a constant
+        "DERIVED = MAX_ID + 1\n")
+    env = module_constants(tree)
+    assert env["MAX_ID"] == 2 ** 48 - 1
+    assert "SCALE" not in env
+    assert env["DERIVED"] == 2 ** 48
+
+
+# ---------------------------------------------------------------------------
+# assume pragmas
+# ---------------------------------------------------------------------------
+
+def test_scan_assumes_parses_bounds_and_constants():
+    text = (
+        "LIMIT = 2 ** 32 - 1\n"
+        "x = load()  # reprolint: assume(x, 0, LIMIT)\n"
+        "y = load()  # reprolint: assume(y, -1.5, 1.5)\n")
+    records = scan_assumes(text, module_constants(ast.parse(text)))
+    assert records == [
+        AssumeRecord(2, "x", 0, 2 ** 32 - 1),
+        AssumeRecord(3, "y", -1.5, 1.5),
+    ]
+
+
+def test_scan_assumes_ignores_malformed_and_inverted():
+    text = (
+        "a = 1  # reprolint: assume(a, UNKNOWN_NAME, 5)\n"
+        "b = 1  # reprolint: assume(b, 10, 0)\n"          # lo > hi
+        "c = 1  # reprolint: assume(not-an-identifier, 0, 1)\n"
+        "d = 1  # reprolint: assume(d, 0, 1)\n")
+    records = scan_assumes(text, {})
+    assert records == [AssumeRecord(4, "d", 0, 1)]
+
+
+def test_assume_record_json_round_trip():
+    rec = AssumeRecord(7, "deg", 0, 2 ** 32 - 1)
+    assert AssumeRecord.from_json(rec.to_json()) == rec
+
+
+def test_dtypes_cover_the_full_lattice():
+    kinds = {info.kind for info in DTYPES.values()}
+    assert kinds == {"b", "u", "i", "f"}

@@ -69,6 +69,82 @@ def test_exit_two_on_syntax_error(tmp_path, capsys):
     assert "syntax error" in capsys.readouterr().err
 
 
+def test_exit_three_on_internal_engine_error(tmp_path, capsys,
+                                             monkeypatch):
+    import repro.devtools.engine.runner as runner
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("worklist exploded")
+
+    # main() imports run_paths from the runner module at call time, so
+    # patching the module attribute is enough to simulate a crash.
+    monkeypatch.setattr(runner, "run_paths", boom)
+    (tmp_path / "ok.py").write_text(CLEAN)
+    assert main([str(tmp_path), "--no-cache"]) == 3
+    err = capsys.readouterr().err
+    assert "internal engine error" in err
+    assert "worklist exploded" in err
+
+
+def test_engine_error_not_conflated_with_findings(tmp_path, capsys):
+    # the three exit codes are distinct outcomes of the same invocation
+    # shape: clean -> 0, findings -> 1 (covered above), crash -> 3
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert main([str(tmp_path), "--no-cache"]) == 1
+    capsys.readouterr()
+    (tmp_path / "bad.py").write_text(CLEAN)
+    assert main([str(tmp_path), "--no-cache"]) == 0
+
+
+def test_sarif_report_structure(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(DIRTY)
+    assert main([str(tmp_path), "--no-cache", "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    rule_ids = {rule["id"] for rule in driver["rules"]}
+    # the catalog covers every registered code, including the numeric
+    # RPL8xx family, not just the codes that fired
+    assert {"RPL810", "RPL811", "RPL812", "RPL813", "RPL814"} <= rule_ids
+    results = run["results"]
+    assert {r["ruleId"] for r in results} == {"RPL101", "RPL301", "RPL601"}
+    for result in results:
+        assert result["ruleId"] in rule_ids
+        assert result["level"] == "warning"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("bad.py")
+        assert loc["region"]["startLine"] >= 1
+        assert "reprolint/v1" in result["partialFingerprints"]
+
+
+def test_sarif_fingerprints_stable_across_line_shifts(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+
+    def fingerprints():
+        assert main([str(tmp_path), "--no-cache", "--format",
+                     "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        return {r["ruleId"]: r["partialFingerprints"]["reprolint/v1"]
+                for r in doc["runs"][0]["results"]}
+
+    bad.write_text(DIRTY)
+    before = fingerprints()
+    bad.write_text("# a comment pushing every finding down\n\n" + DIRTY)
+    after = fingerprints()
+    assert before == after
+
+
+def test_sarif_empty_run_is_valid(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text(CLEAN)
+    assert main([str(tmp_path), "--no-cache", "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"] == []
+
+
 def test_list_checkers(capsys):
     assert main(["--list-checkers"]) == 0
     out = capsys.readouterr().out
